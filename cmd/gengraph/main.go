@@ -1,0 +1,86 @@
+// Command gengraph emits the benchmark graphs of the evaluation to disk in
+// JSON or SDF3-flavoured XML, so they can be inspected, re-used or fed to
+// other tools.
+//
+//	gengraph -out bench/ -format xml
+//	gengraph -out bench/ -suite table2 -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kiter/internal/bench"
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+	"kiter/internal/sdf3x"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "benchgraphs", "output directory")
+		suite   = flag.String("suite", "all", "table1 | table2 | fixtures | all")
+		format  = flag.String("format", "json", "json | xml")
+		mimic   = flag.Int("mimic", 10, "MimicDSP graph count")
+		lghsdf  = flag.Int("lghsdf", 10, "LgHSDF graph count")
+		lgtrans = flag.Int("lgtransient", 10, "LgTransient graph count")
+		seed    = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+	if err := run(*out, *suite, *format, *mimic, *lghsdf, *lgtrans, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, suite, format string, mimic, lghsdf, lgtrans int, seed int64) error {
+	if format != "json" && format != "xml" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	emit := func(dir string, g *csdf.Graph) error {
+		if err := os.MkdirAll(filepath.Join(out, dir), 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(out, dir, g.Name+"."+format)
+		if err := sdf3x.WriteFile(path, g); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	if suite == "fixtures" || suite == "all" {
+		fig1, _ := gen.Figure1()
+		for _, g := range []*csdf.Graph{fig1, gen.Figure2(), gen.SampleRateConverter(), gen.MultiRateCycle(), gen.CyclicCSDF()} {
+			if err := emit("fixtures", g); err != nil {
+				return err
+			}
+		}
+	}
+	if suite == "table1" || suite == "all" {
+		for _, s := range bench.Table1Suites(mimic, lghsdf, lgtrans, seed) {
+			for _, g := range s.Graphs {
+				if err := emit(s.Name, g); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if suite == "table2" || suite == "all" {
+		for _, spec := range append(gen.IndustrialSpecs(), gen.SyntheticSpecs()...) {
+			g, err := gen.Industrial(spec)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gengraph: %s: %v (skipped)\n", spec.Name, err)
+				continue
+			}
+			if err := emit("table2", g); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

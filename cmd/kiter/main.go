@@ -1,0 +1,165 @@
+// Command kiter evaluates the throughput of a CSDF graph with the methods
+// of the paper: K-Iter (exact, default), the 1-periodic approximation, the
+// K = q expansion and symbolic execution.
+//
+// Usage:
+//
+//	kiter -file app.json                  # K-Iter on a graph file
+//	kiter -file app.xml -method all       # compare every method
+//	kiter -fixture figure2 -trace         # run the paper's running example
+//	kiter -file app.json -capacities      # apply declared buffer capacities
+//	kiter -file app.json -schedule 2      # print a 2-iteration Gantt chart
+//	kiter -file app.json -dot out.dot     # export Graphviz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kiter"
+	"kiter/internal/bench"
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+)
+
+func main() {
+	var (
+		file       = flag.String("file", "", "graph file (.json or .xml)")
+		fixture    = flag.String("fixture", "", "built-in graph: figure2, samplerate, satellite, h263, modem, mp3")
+		method     = flag.String("method", "kiter", "kiter | periodic | expansion | symbolic | all")
+		capacities = flag.Bool("capacities", false, "apply declared buffer capacities (reverse-buffer encoding)")
+		schedule   = flag.Int64("schedule", 0, "print a Gantt chart over N graph iterations of the optimal schedule")
+		trace      = flag.Bool("trace", false, "print the ASAP (self-timed) schedule prefix")
+		dotOut     = flag.String("dot", "", "write the graph in Graphviz DOT format to this file")
+		width      = flag.Int("width", 100, "Gantt chart width in characters")
+		symBudget  = flag.Int64("symbolic-budget", 0, "symbolic execution event budget (0 = default)")
+	)
+	flag.Parse()
+	if err := run(*file, *fixture, *method, *capacities, *schedule, *trace, *dotOut, *width, *symBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "kiter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, fixture, method string, capacities bool, schedule int64, trace bool, dotOut string, width int, symBudget int64) error {
+	g, err := loadGraph(file, fixture)
+	if err != nil {
+		return err
+	}
+	if capacities {
+		bounded, err := g.WithCapacities()
+		if err != nil {
+			return fmt.Errorf("applying capacities: %w", err)
+		}
+		g = bounded
+	}
+	fmt.Printf("graph: %s\n", g.ComputeStats())
+	if dotOut != "" {
+		f, err := os.Create(dotOut)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteDOT(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", dotOut)
+	}
+
+	methods := []bench.Method{bench.Method(method)}
+	if method == "all" {
+		methods = bench.Methods()
+	}
+	lim := bench.Limits{SymbolicMaxEvents: symBudget}
+	var optimal *kiter.Result
+	for _, m := range methods {
+		switch m {
+		case bench.MethodKIter:
+			start := time.Now()
+			res, err := kiter.Throughput(g)
+			elapsed := time.Since(start)
+			if err != nil {
+				fmt.Printf("%-10s error: %v\n", m, err)
+				continue
+			}
+			optimal = res
+			fmt.Printf("%-10s Ω = %-14s Th = %-14s K = %v  (%d iterations, %v)\n",
+				m, res.Period, res.Throughput, res.K, res.Iterations, elapsed)
+		default:
+			out := bench.Run(g, m, lim)
+			if out.Err != nil {
+				fmt.Printf("%-10s error: %v\n", m, out.Err)
+				continue
+			}
+			fmt.Printf("%-10s Ω = %-14s Th = %-14s (%v)\n",
+				m, out.Period, out.Period.Inv(), out.Elapsed)
+		}
+	}
+
+	if schedule > 0 {
+		if optimal == nil {
+			res, err := kiter.Throughput(g)
+			if err != nil {
+				return err
+			}
+			optimal = res
+		}
+		s, err := kiter.BuildSchedule(g, optimal.K, kiter.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(kiter.GanttFromSchedule(g, s, schedule, "optimal K-periodic schedule").Render(width))
+		fmt.Printf("iteration latency: %s\n", kiter.IterationLatency(g, s))
+	}
+	if trace {
+		horizon := int64(4)
+		if optimal != nil {
+			horizon, _ = optimal.Period.Mul(kiter.IntRat(2)).Int64()
+			if horizon < 4 {
+				horizon = 4
+			}
+		}
+		firings, dead, err := kiter.Simulate(g, horizon)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(kiter.GanttFromTrace(g, firings, "ASAP (self-timed) schedule").Render(width))
+		if dead {
+			fmt.Println("execution deadlocks")
+		}
+	}
+	return nil
+}
+
+func loadGraph(file, fixture string) (*csdf.Graph, error) {
+	switch {
+	case file != "":
+		return kiter.ReadFile(file)
+	case fixture != "":
+		switch fixture {
+		case "figure2":
+			return gen.Figure2(), nil
+		case "samplerate":
+			return gen.SampleRateConverter(), nil
+		case "satellite":
+			return gen.SatelliteReceiver(), nil
+		case "h263":
+			return gen.H263Decoder(), nil
+		case "modem":
+			return gen.Modem(), nil
+		case "mp3":
+			return gen.MP3Playback(), nil
+		default:
+			return nil, fmt.Errorf("unknown fixture %q", fixture)
+		}
+	default:
+		return nil, fmt.Errorf("need -file or -fixture (try -fixture figure2)")
+	}
+}

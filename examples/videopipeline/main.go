@@ -1,0 +1,109 @@
+// Videopipeline models an H.264-style encoder front end as a CSDF graph —
+// the kind of industrial application (H264 Encoder, 665 tasks in the
+// paper's Table 2) whose throughput motivated K-Iter. This scaled-down
+// version keeps the characteristic structure: macroblock-phased tasks, a
+// reference-frame feedback loop, and bounded buffers between pipeline
+// stages.
+//
+// Run with: go run ./examples/videopipeline
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"kiter"
+)
+
+func main() {
+	const mbPerFrame = 16 // macroblocks per (tiny) frame
+
+	g := kiter.NewGraph("video-encoder")
+	// The camera emits one frame per firing.
+	camera := g.AddSDFTask("camera", 10)
+	// Motion estimation processes macroblocks in two phases: load (fast)
+	// and search (slow), 8 MB pairs per frame.
+	me := g.AddTask("motion-est", []int64{2, 6})
+	// Transform+quantize runs per macroblock.
+	tq := g.AddSDFTask("transform", 3)
+	// Entropy coding consumes a whole frame's macroblocks in one firing.
+	ec := g.AddSDFTask("entropy", 20)
+	// The reconstruction loop feeds reference macroblocks back to motion
+	// estimation (one frame of reference data circulates).
+	recon := g.AddSDFTask("recon", 4)
+
+	g.AddBuffer("frames", camera, me, []int64{mbPerFrame}, []int64{1, 1}, 0)
+	g.AddBuffer("mbs", me, tq, []int64{1, 1}, []int64{1}, 0)
+	g.AddBuffer("coeffs", tq, ec, []int64{1}, []int64{mbPerFrame}, 0)
+	g.AddBuffer("to-recon", tq, recon, []int64{1}, []int64{1}, 0)
+	// Motion estimation consumes two reference macroblocks in its search
+	// phase (q_me·2 = q_recon·1 keeps the loop balanced).
+	g.AddBuffer("reference", recon, me, []int64{1}, []int64{0, 2}, mbPerFrame)
+	// Rate-control credits: entropy coding paces the camera.
+	g.AddBuffer("rate-ctl", ec, camera, []int64{1}, []int64{1}, 2)
+
+	q, err := g.RepetitionVector()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipeline repetition vector q = %v\n", q)
+
+	res, err := kiter.Throughput(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unbounded buffers: Ω = %s time units per frame-iteration (throughput %s)\n",
+		res.Period, res.Throughput)
+
+	// Size the buffers without losing throughput.
+	caps, optimal, err := kiter.OptimalCapacities(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthroughput-preserving buffer sizes:")
+	var total int64
+	for i, b := range g.Buffers() {
+		fmt.Printf("  %-10s capacity %4d tokens\n", b.Name, caps[i])
+		total += caps[i]
+	}
+	fmt.Printf("  total %d tokens, period still %s\n", total, optimal)
+
+	// What happens under tighter memory? Explore the trade-off.
+	fmt.Println("\nuniform capacity scale → period:")
+	points, err := kiter.BufferTradeOff(g, []int64{1, 2, 3, 4, 6, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range points {
+		if pt.Deadlocked {
+			fmt.Printf("  scale %2d: %6d tokens  → deadlock\n", pt.Scale, pt.TotalCapacity)
+			continue
+		}
+		fmt.Printf("  scale %2d: %6d tokens  → Ω = %s\n", pt.Scale, pt.TotalCapacity, pt.Period)
+	}
+
+	// Apply the tightest uniform scale that keeps the optimum.
+	scale, err := kiter.MinUniformScale(g, res.Period, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsmallest uniform scale preserving Ω = %s: %d\n", res.Period, scale)
+
+	// Demonstrate the deadlock certificate on an over-tight sizing.
+	tight := g.ScaleCapacities(1)
+	bounded, err := tight.WithCapacities()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := kiter.Throughput(bounded); err != nil {
+		var dead *kiter.DeadlockError
+		if errors.As(err, &dead) {
+			fmt.Printf("scale 1 deadlocks; certificate circuit over tasks %v\n", dead.Tasks)
+		} else {
+			fmt.Printf("scale 1: %v\n", err)
+		}
+	} else {
+		fmt.Println("scale 1 remains schedulable")
+	}
+}

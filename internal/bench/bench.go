@@ -1,0 +1,274 @@
+// Package bench is the shared harness behind the Table 1 / Table 2
+// reproductions: it runs each throughput method on each benchmark graph
+// with guard rails (symbolic-execution budgets, expansion size caps) and
+// aggregates the statistics the paper reports (task/channel/Σq min-avg-max,
+// per-method mean runtimes, optimality percentages).
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+	"kiter/internal/rat"
+	"kiter/internal/symbexec"
+)
+
+// Method selects a throughput evaluation technique.
+type Method string
+
+const (
+	// MethodKIter is the paper's contribution (Algorithm 1).
+	MethodKIter Method = "kiter"
+	// MethodPeriodic is the 1-periodic approximate method [4].
+	MethodPeriodic Method = "periodic"
+	// MethodExpansion is the K = q full expansion (the optimal baseline
+	// class of [6, 10] in Table 1).
+	MethodExpansion Method = "expansion"
+	// MethodSymbolic is symbolic execution [8, 16].
+	MethodSymbolic Method = "symbolic"
+)
+
+// Methods lists all techniques in presentation order.
+func Methods() []Method {
+	return []Method{MethodPeriodic, MethodKIter, MethodExpansion, MethodSymbolic}
+}
+
+// Limits guards against the methods' exponential blow-ups.
+type Limits struct {
+	// SymbolicMaxEvents bounds symbolic execution (0 = engine default).
+	SymbolicMaxEvents int64
+	// ExpansionMaxNodes skips the K = q evaluation when the expanded
+	// bi-valued graph would exceed this node count (0 = 2 000 000).
+	ExpansionMaxNodes int64
+	// KIterMaxNodes / KIterMaxPairs abort a K-Iter (or periodic) run
+	// whose bi-valued graph outgrows the budget — the analogue of the
+	// paper's "> 1 day" rows (0 = 2 000 000 nodes / 50 000 000 pairs).
+	KIterMaxNodes int64
+	KIterMaxPairs int64
+}
+
+const (
+	defaultExpansionMaxNodes = 2_000_000
+	defaultKIterMaxNodes     = 2_000_000
+	defaultKIterMaxPairs     = 50_000_000
+)
+
+func (l Limits) kiterOptions() kperiodic.Options {
+	opt := kperiodic.Options{MaxNodes: l.KIterMaxNodes, MaxPairs: l.KIterMaxPairs}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = defaultKIterMaxNodes
+	}
+	if opt.MaxPairs <= 0 {
+		opt.MaxPairs = defaultKIterMaxPairs
+	}
+	return opt
+}
+
+// Outcome is one (graph, method) measurement.
+type Outcome struct {
+	Period  rat.Rat
+	Err     error
+	Elapsed time.Duration
+	Skipped bool // guard rail prevented the run
+}
+
+// ErrTooLarge marks an expansion skipped by the node-count guard.
+var ErrTooLarge = errors.New("bench: expansion would exceed the node budget")
+
+// Run evaluates one graph with one method under the guard rails.
+func Run(g *csdf.Graph, m Method, lim Limits) Outcome {
+	switch m {
+	case MethodKIter:
+		start := time.Now()
+		res, err := kperiodic.KIter(g, lim.kiterOptions())
+		out := Outcome{Err: err, Elapsed: time.Since(start)}
+		var tl *kperiodic.ErrTooLarge
+		if errors.As(err, &tl) {
+			out.Skipped = true
+		}
+		if err == nil {
+			out.Period = res.Period
+		}
+		return out
+	case MethodPeriodic:
+		start := time.Now()
+		res, err := kperiodic.Evaluate1(g, lim.kiterOptions())
+		out := Outcome{Err: err, Elapsed: time.Since(start)}
+		var tl *kperiodic.ErrTooLarge
+		if errors.As(err, &tl) {
+			out.Skipped = true
+		}
+		if err == nil {
+			out.Period = res.Period
+		}
+		return out
+	case MethodExpansion:
+		maxNodes := lim.ExpansionMaxNodes
+		if maxNodes <= 0 {
+			maxNodes = defaultExpansionMaxNodes
+		}
+		if n, err := expansionNodes(g); err != nil || n > maxNodes {
+			return Outcome{Err: ErrTooLarge, Skipped: true}
+		}
+		opt := lim.kiterOptions()
+		opt.MaxNodes = maxNodes
+		start := time.Now()
+		res, err := kperiodic.Expansion(g, opt)
+		out := Outcome{Err: err, Elapsed: time.Since(start)}
+		var tl *kperiodic.ErrTooLarge
+		if errors.As(err, &tl) {
+			out.Skipped = true
+		}
+		if err == nil {
+			out.Period = res.Period
+		}
+		return out
+	case MethodSymbolic:
+		start := time.Now()
+		res, err := symbexec.Run(g, symbexec.Options{MaxEvents: lim.SymbolicMaxEvents})
+		out := Outcome{Err: err, Elapsed: time.Since(start)}
+		if err == nil {
+			out.Period = res.Period
+		}
+		return out
+	}
+	return Outcome{Err: fmt.Errorf("bench: unknown method %q", m)}
+}
+
+// expansionNodes estimates the K = q bi-valued graph node count Σ qt·ϕ(t).
+func expansionNodes(g *csdf.Graph) (int64, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, t := range g.Tasks() {
+		n, ok := rat.MulCheck(q[t.ID], int64(t.Phases()))
+		if !ok {
+			return 0, &rat.ErrOverflow{Op: "expansion size"}
+		}
+		total, ok = rat.AddCheck(total, n)
+		if !ok {
+			return 0, &rat.ErrOverflow{Op: "expansion size"}
+		}
+	}
+	return total, nil
+}
+
+// SuiteStats aggregates the descriptive columns of Table 1.
+type SuiteStats struct {
+	Graphs                       int
+	TaskMin, TaskAvg, TaskMax    int
+	ChanMin, ChanAvg, ChanMax    int
+	SumQMin, SumQAvg, SumQMax    *big.Int
+	SumQOverflowedOrInconsistent bool
+}
+
+// Stats computes descriptive statistics over a suite.
+func Stats(graphs []*csdf.Graph) SuiteStats {
+	s := SuiteStats{Graphs: len(graphs)}
+	if len(graphs) == 0 {
+		return s
+	}
+	s.TaskMin, s.ChanMin = 1<<31, 1<<31
+	s.SumQMin, s.SumQMax = nil, nil
+	sumTasks, sumChans := 0, 0
+	sumQTotal := new(big.Int)
+	count := 0
+	for _, g := range graphs {
+		nt, nb := g.NumTasks(), g.NumBuffers()
+		sumTasks += nt
+		sumChans += nb
+		if nt < s.TaskMin {
+			s.TaskMin = nt
+		}
+		if nt > s.TaskMax {
+			s.TaskMax = nt
+		}
+		if nb < s.ChanMin {
+			s.ChanMin = nb
+		}
+		if nb > s.ChanMax {
+			s.ChanMax = nb
+		}
+		sq, err := g.SumRepetition()
+		if err != nil {
+			s.SumQOverflowedOrInconsistent = true
+			continue
+		}
+		count++
+		sumQTotal.Add(sumQTotal, sq)
+		if s.SumQMin == nil || sq.Cmp(s.SumQMin) < 0 {
+			s.SumQMin = sq
+		}
+		if s.SumQMax == nil || sq.Cmp(s.SumQMax) > 0 {
+			s.SumQMax = sq
+		}
+	}
+	s.TaskAvg = sumTasks / len(graphs)
+	s.ChanAvg = sumChans / len(graphs)
+	if count > 0 {
+		s.SumQAvg = new(big.Int).Div(sumQTotal, big.NewInt(int64(count)))
+	}
+	return s
+}
+
+// MethodSummary aggregates one method's behaviour over a suite.
+type MethodSummary struct {
+	Mean       time.Duration
+	Total      time.Duration
+	Ran        int     // graphs actually evaluated
+	Failed     int     // errors other than guard-rail skips
+	Skipped    int     // guard-rail skips (too large / budget)
+	OptimalPct float64 // period vs reference optimum, 100 = always optimal
+}
+
+// Summarize runs a method over a suite. reference, when non-nil, supplies
+// the exact optimal period per graph for optimality accounting (Table 2's
+// percentage column: the ratio optimum/obtained, averaged over solved
+// graphs).
+func Summarize(graphs []*csdf.Graph, m Method, lim Limits, reference []rat.Rat) MethodSummary {
+	var sum MethodSummary
+	var optAcc float64
+	optCount := 0
+	for i, g := range graphs {
+		out := Run(g, m, lim)
+		if out.Skipped || errors.Is(out.Err, symbexec.ErrBudget) {
+			sum.Skipped++
+			continue
+		}
+		if out.Err != nil {
+			sum.Failed++
+			continue
+		}
+		sum.Ran++
+		sum.Total += out.Elapsed
+		if reference != nil && i < len(reference) && reference[i].Sign() > 0 && out.Period.Sign() > 0 {
+			// period ≥ optimum; ratio in (0,1].
+			optAcc += reference[i].Div(out.Period).Float()
+			optCount++
+		}
+	}
+	if sum.Ran > 0 {
+		sum.Mean = sum.Total / time.Duration(sum.Ran)
+	}
+	if optCount > 0 {
+		sum.OptimalPct = 100 * optAcc / float64(optCount)
+	}
+	return sum
+}
+
+// Table1Suites builds the four SDFG categories with the given sizes.
+func Table1Suites(mimic, lghsdf, lgtransient int, seed int64) []gen.Suite {
+	return []gen.Suite{
+		gen.ActualDSP(),
+		gen.MimicDSP(mimic, seed),
+		gen.LgHSDF(lghsdf, seed+1000),
+		gen.LgTransient(lgtransient, seed+2000),
+	}
+}

@@ -1,0 +1,121 @@
+package bench_test
+
+import (
+	"errors"
+	"testing"
+
+	"kiter/internal/bench"
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+	"kiter/internal/rat"
+)
+
+func TestRunAllMethodsAgreeOnFigure2(t *testing.T) {
+	g := gen.Figure2()
+	lim := bench.Limits{}
+	var periods []string
+	for _, m := range []bench.Method{bench.MethodKIter, bench.MethodExpansion, bench.MethodSymbolic} {
+		out := bench.Run(g, m, lim)
+		if out.Err != nil {
+			t.Fatalf("%s: %v", m, out.Err)
+		}
+		periods = append(periods, out.Period.String())
+	}
+	for _, p := range periods {
+		if p != "13" {
+			t.Fatalf("periods = %v, want all 13", periods)
+		}
+	}
+	// Periodic is an upper bound on the period.
+	out := bench.Run(g, bench.MethodPeriodic, lim)
+	if out.Err != nil || out.Period.String() != "18" {
+		t.Fatalf("periodic: %v %s", out.Err, out.Period)
+	}
+}
+
+func TestExpansionGuardRail(t *testing.T) {
+	g := gen.Figure2()
+	out := bench.Run(g, bench.MethodExpansion, bench.Limits{ExpansionMaxNodes: 2})
+	if !out.Skipped || !errors.Is(out.Err, bench.ErrTooLarge) {
+		t.Errorf("guard rail did not trip: %+v", out)
+	}
+}
+
+func TestSymbolicBudgetCountsAsSkip(t *testing.T) {
+	g := gen.Figure2()
+	sum := bench.Summarize([]*csdf.Graph{g}, bench.MethodSymbolic, bench.Limits{SymbolicMaxEvents: 2}, nil)
+	if sum.Skipped != 1 || sum.Ran != 0 {
+		t.Errorf("summary = %+v, want 1 skip", sum)
+	}
+}
+
+func TestStats(t *testing.T) {
+	suite := gen.MimicDSP(6, 7)
+	st := bench.Stats(suite.Graphs)
+	if st.Graphs != len(suite.Graphs) {
+		t.Fatal("graph count wrong")
+	}
+	if st.TaskMin > st.TaskAvg || st.TaskAvg > st.TaskMax {
+		t.Errorf("task stats inconsistent: %d/%d/%d", st.TaskMin, st.TaskAvg, st.TaskMax)
+	}
+	if st.SumQMin == nil || st.SumQMax == nil || st.SumQMin.Cmp(st.SumQMax) > 0 {
+		t.Errorf("Σq stats inconsistent: %v/%v", st.SumQMin, st.SumQMax)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	st := bench.Stats(nil)
+	if st.Graphs != 0 {
+		t.Fatal("empty stats wrong")
+	}
+}
+
+func TestSummarizeOptimality(t *testing.T) {
+	graphs := gen.ActualDSP().Graphs
+	lim := bench.Limits{SymbolicMaxEvents: 5_000_000}
+	// Reference optima via K-Iter.
+	refs := make([]rat.Rat, len(graphs))
+	for i, g := range graphs {
+		out := bench.Run(g, bench.MethodKIter, lim)
+		if out.Err != nil {
+			t.Fatalf("%s: %v", g.Name, out.Err)
+		}
+		refs[i] = out.Period
+	}
+	ks := bench.Summarize(graphs, bench.MethodKIter, lim, refs)
+	if ks.Ran != len(graphs) || ks.Failed != 0 {
+		t.Fatalf("K-Iter summary: %+v", ks)
+	}
+	if ks.OptimalPct < 99.999 {
+		t.Errorf("K-Iter optimality = %.2f%%, want 100%%", ks.OptimalPct)
+	}
+	ps := bench.Summarize(graphs, bench.MethodPeriodic, lim, refs)
+	if ps.OptimalPct > 100.0001 {
+		t.Errorf("periodic optimality %.2f%% exceeds 100%%", ps.OptimalPct)
+	}
+}
+
+func TestTable1Suites(t *testing.T) {
+	suites := bench.Table1Suites(3, 3, 2, 1)
+	if len(suites) != 4 {
+		t.Fatalf("want 4 categories, got %d", len(suites))
+	}
+	names := map[string]bool{}
+	for _, s := range suites {
+		names[s.Name] = true
+		if len(s.Graphs) == 0 {
+			t.Errorf("category %s is empty", s.Name)
+		}
+	}
+	for _, want := range []string{"ActualDSP", "MimicDSP", "LgHSDF", "LgTransient"} {
+		if !names[want] {
+			t.Errorf("missing category %s", want)
+		}
+	}
+}
+
+func TestMethodsList(t *testing.T) {
+	if len(bench.Methods()) != 4 {
+		t.Fatal("methods list drifted")
+	}
+}

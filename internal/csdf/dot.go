@@ -1,0 +1,59 @@
+package csdf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format. Tasks become nodes
+// labelled with their name and duration vector; buffers become edges
+// labelled with their production/consumption vectors and initial marking,
+// matching the visual convention of Figures 1 and 2 of the paper.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", dotID(g.Name))
+	b.WriteString("  rankdir=LR;\n  node [shape=circle];\n")
+	for i := range g.tasks {
+		t := &g.tasks[i]
+		fmt.Fprintf(&b, "  t%d [label=\"%s\\nd=%s\"];\n", i, t.Name, vecString(t.Durations))
+	}
+	for i := range g.buffers {
+		bf := &g.buffers[i]
+		label := fmt.Sprintf("%s %s M0=%d", vecString(bf.In), vecString(bf.Out), bf.Initial)
+		if bf.Capacity > 0 {
+			label += fmt.Sprintf(" cap=%d", bf.Capacity)
+		}
+		fmt.Fprintf(&b, "  t%d -> t%d [label=%q];\n", bf.Src, bf.Dst, label)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func dotID(s string) string {
+	if s == "" {
+		return "csdfg"
+	}
+	return s
+}
+
+// vecString formats a rate or duration vector in the paper's bracketed
+// style, e.g. [2,3,1].
+func vecString(v []int64) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// String gives a compact one-line description of the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s(|T|=%d,|B|=%d)", g.Name, len(g.tasks), len(g.buffers))
+}

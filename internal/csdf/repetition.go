@@ -1,0 +1,168 @@
+package csdf
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// ErrInconsistent is returned when no repetition vector exists, i.e. the
+// balance equations qt·ib = qt′·ob admit no positive integer solution.
+var ErrInconsistent = errors.New("csdf: graph is not consistent (no repetition vector)")
+
+// ErrRepetitionOverflow is returned by RepetitionVector when the smallest
+// repetition vector does not fit in int64 components.
+var ErrRepetitionOverflow = errors.New("csdf: repetition vector exceeds int64")
+
+// RepetitionVectorBig computes the smallest positive integer repetition
+// vector q such that qt·ib = qt′·ob for every buffer b = (t, t′)
+// (Section 2.2). Each weakly-connected component is normalized
+// independently to its smallest integer solution. The computation is exact
+// (math/big), immune to the integer overflow the paper reports fixing in
+// SDF3's implementation.
+func (g *Graph) RepetitionVectorBig() ([]*big.Int, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.tasks)
+	// Fractional solution per component via BFS over the undirected
+	// buffer adjacency: fixing f(root)=1, each buffer b=(t,t′) forces
+	// f(t′) = f(t)·ib/ob.
+	frac := make([]*big.Rat, n)
+	adj := make([][]int, n) // buffer indices incident to each task
+	for i := range g.buffers {
+		b := &g.buffers[i]
+		adj[b.Src] = append(adj[b.Src], i)
+		if b.Dst != b.Src {
+			adj[b.Dst] = append(adj[b.Dst], i)
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var compRoots []TaskID
+	queue := make([]TaskID, 0, n)
+	for root := 0; root < n; root++ {
+		if comp[root] >= 0 {
+			continue
+		}
+		c := len(compRoots)
+		compRoots = append(compRoots, TaskID(root))
+		comp[root] = c
+		frac[root] = big.NewRat(1, 1)
+		queue = append(queue[:0], TaskID(root))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, bi := range adj[u] {
+				b := &g.buffers[bi]
+				ib, ob := b.TotalIn(), b.TotalOut()
+				// Self-loop: requires ib == ob, no propagation.
+				if b.Src == b.Dst {
+					if ib != ob {
+						return nil, fmt.Errorf("%w: self-loop buffer %d has ib=%d ≠ ob=%d", ErrInconsistent, bi, ib, ob)
+					}
+					continue
+				}
+				var from, to TaskID
+				var ratio *big.Rat
+				if b.Src == u {
+					from, to = b.Src, b.Dst
+					ratio = big.NewRat(ib, ob) // f(dst) = f(src)·ib/ob
+				} else {
+					from, to = b.Dst, b.Src
+					ratio = big.NewRat(ob, ib)
+				}
+				want := new(big.Rat).Mul(frac[from], ratio)
+				if frac[to] == nil {
+					frac[to] = want
+					comp[to] = c
+					queue = append(queue, to)
+				} else if frac[to].Cmp(want) != 0 {
+					return nil, fmt.Errorf("%w: cycle through buffer %d imbalanced", ErrInconsistent, bi)
+				}
+			}
+		}
+	}
+	// Re-check every buffer (BFS tree covers all, but self-loops and
+	// parallel buffers deserve an explicit pass).
+	for i := range g.buffers {
+		b := &g.buffers[i]
+		lhs := new(big.Rat).Mul(frac[b.Src], big.NewRat(b.TotalIn(), 1))
+		rhs := new(big.Rat).Mul(frac[b.Dst], big.NewRat(b.TotalOut(), 1))
+		if lhs.Cmp(rhs) != 0 {
+			return nil, fmt.Errorf("%w: buffer %d imbalanced", ErrInconsistent, i)
+		}
+	}
+	// Scale each component to the smallest positive integer vector:
+	// multiply by lcm of denominators, then divide by gcd of numerators.
+	q := make([]*big.Int, n)
+	for c := range compRoots {
+		lcmDen := big.NewInt(1)
+		for t := 0; t < n; t++ {
+			if comp[t] != c {
+				continue
+			}
+			d := frac[t].Denom()
+			gcd := new(big.Int).GCD(nil, nil, lcmDen, d)
+			lcmDen.Div(lcmDen, gcd).Mul(lcmDen, d)
+		}
+		gcdNum := new(big.Int)
+		for t := 0; t < n; t++ {
+			if comp[t] != c {
+				continue
+			}
+			v := new(big.Rat).Mul(frac[t], new(big.Rat).SetInt(lcmDen))
+			q[t] = new(big.Int).Set(v.Num()) // v is integral now
+			gcdNum.GCD(nil, nil, gcdNum, q[t])
+		}
+		if gcdNum.Sign() > 0 && gcdNum.Cmp(big.NewInt(1)) != 0 {
+			for t := 0; t < n; t++ {
+				if comp[t] == c {
+					q[t].Div(q[t], gcdNum)
+				}
+			}
+		}
+	}
+	return q, nil
+}
+
+// RepetitionVector computes the smallest repetition vector as int64
+// components, returning ErrRepetitionOverflow if any component does not
+// fit. Most callers should use this; RepetitionVectorBig is the exact
+// fallback.
+func (g *Graph) RepetitionVector() ([]int64, error) {
+	qb, err := g.RepetitionVectorBig()
+	if err != nil {
+		return nil, err
+	}
+	q := make([]int64, len(qb))
+	for i, v := range qb {
+		if !v.IsInt64() {
+			return nil, ErrRepetitionOverflow
+		}
+		q[i] = v.Int64()
+	}
+	return q, nil
+}
+
+// Consistent reports whether the graph admits a repetition vector.
+func (g *Graph) Consistent() bool {
+	_, err := g.RepetitionVectorBig()
+	return err == nil
+}
+
+// SumRepetition returns Σt qt as a big.Int (the complexity measure used in
+// Tables 1 and 2 of the paper).
+func (g *Graph) SumRepetition() (*big.Int, error) {
+	qb, err := g.RepetitionVectorBig()
+	if err != nil {
+		return nil, err
+	}
+	s := new(big.Int)
+	for _, v := range qb {
+		s.Add(s, v)
+	}
+	return s, nil
+}

@@ -1,0 +1,362 @@
+package kperiodic_test
+
+import (
+	"errors"
+	"testing"
+
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+	"kiter/internal/rat"
+)
+
+func mustEval1(t *testing.T, g *csdf.Graph) *kperiodic.Evaluation {
+	t.Helper()
+	ev, err := kperiodic.Evaluate1(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatalf("Evaluate1(%s): %v", g.Name, err)
+	}
+	return ev
+}
+
+func mustKIter(t *testing.T, g *csdf.Graph) *kperiodic.KIterResult {
+	t.Helper()
+	res, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatalf("KIter(%s): %v", g.Name, err)
+	}
+	return res
+}
+
+func TestFigure2Anchors(t *testing.T) {
+	g := gen.Figure2()
+	e1 := mustEval1(t, g)
+	if e1.Period.String() != "18" {
+		t.Errorf("1-periodic Ω = %s, want 18", e1.Period)
+	}
+	res := mustKIter(t, g)
+	if res.Period.String() != "13" {
+		t.Errorf("optimal Ω = %s, want 13", res.Period)
+	}
+	if !res.Optimal || !res.Certified {
+		t.Errorf("optimal=%v certified=%v, want true,true", res.Optimal, res.Certified)
+	}
+	if res.Iterations != 3 {
+		t.Errorf("iterations = %d, want 3", res.Iterations)
+	}
+	// The K=1 critical circuit passes through tasks A, C, D (IDs 0,2,3),
+	// matching the Figure 5 caption's circuit {A1, D1, C1}.
+	first := res.Trace[0]
+	want := []csdf.TaskID{0, 2, 3}
+	if len(first.CriticalTasks) != len(want) {
+		t.Fatalf("K=1 critical tasks = %v, want %v", first.CriticalTasks, want)
+	}
+	for i := range want {
+		if first.CriticalTasks[i] != want[i] {
+			t.Fatalf("K=1 critical tasks = %v, want %v", first.CriticalTasks, want)
+		}
+	}
+	// The final K equals the repetition vector on this instance.
+	q, _ := g.RepetitionVector()
+	for i := range q {
+		if res.K[i] != q[i] {
+			t.Errorf("final K = %v, want q = %v", res.K, q)
+			break
+		}
+	}
+}
+
+func TestFigure2ExpansionAgrees(t *testing.T) {
+	g := gen.Figure2()
+	exp, err := kperiodic.Expansion(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustKIter(t, g)
+	if exp.Period.Cmp(res.Period) != 0 {
+		t.Errorf("expansion Ω = %s, K-Iter Ω = %s", exp.Period, res.Period)
+	}
+	if !exp.Optimal {
+		t.Error("expansion result not optimal")
+	}
+}
+
+func TestTwoTaskChain(t *testing.T) {
+	g := gen.TwoTaskChain(2, 3)
+	res := mustKIter(t, g)
+	// Sequential tasks, no feedback: the slowest task bounds the period.
+	if res.Period.String() != "3" {
+		t.Errorf("Ω = %s, want 3", res.Period)
+	}
+	if res.Throughput.String() != "1/3" {
+		t.Errorf("throughput = %s, want 1/3", res.Throughput)
+	}
+}
+
+func TestHSDFRingOracle(t *testing.T) {
+	cases := []struct {
+		n      int
+		durs   []int64
+		tokens int64
+		want   string // max(Σd/tokens, max d)
+	}{
+		{4, []int64{1}, 2, "2"},       // 4/2
+		{4, []int64{1}, 1, "4"},       // 4/1
+		{3, []int64{2, 3, 1}, 1, "6"}, /* 6/1 */
+		{3, []int64{2, 3, 1}, 2, "3"}, // max(3, 3)
+		{3, []int64{2, 3, 1}, 6, "3"}, // task bound d=3
+		{5, []int64{1, 1}, 3, "5/3"},  // 5/3 > 1
+		{2, []int64{10, 1}, 4, "10"},  // task bound
+		{6, []int64{1}, 5, "6/5"},     // 6/5
+		{7, []int64{2}, 3, "14/3"},    // 14/3 > 2
+		{3, []int64{0, 0, 0}, 1, "0"}, // zero-duration ring
+	}
+	for _, c := range cases {
+		g := gen.HSDFRing(c.n, c.durs, c.tokens)
+		res := mustKIter(t, g)
+		if res.Period.String() != c.want {
+			t.Errorf("ring(n=%d,d=%v,m=%d): Ω = %s, want %s",
+				c.n, c.durs, c.tokens, res.Period, c.want)
+		}
+	}
+}
+
+func TestPeriodic1IsUpperBound(t *testing.T) {
+	graphs := []*csdf.Graph{
+		gen.Figure2(),
+		gen.MultiRateCycle(),
+		gen.CyclicCSDF(),
+		gen.HSDFRing(4, []int64{1, 2}, 2),
+		gen.SampleRateConverter(),
+	}
+	for _, g := range graphs {
+		e1 := mustEval1(t, g)
+		opt := mustKIter(t, g)
+		if e1.Period.Cmp(opt.Period) < 0 {
+			t.Errorf("%s: 1-periodic Ω %s < optimal Ω %s (impossible)",
+				g.Name, e1.Period, opt.Period)
+		}
+	}
+}
+
+func TestKIterMatchesExpansionEverywhere(t *testing.T) {
+	graphs := []*csdf.Graph{
+		gen.Figure2(),
+		gen.MultiRateCycle(),
+		gen.CyclicCSDF(),
+		gen.UpDownSampler(3, 2),
+		gen.SampleRateConverter(),
+	}
+	for _, g := range graphs {
+		opt := mustKIter(t, g)
+		exp, err := kperiodic.Expansion(g, kperiodic.Options{})
+		if err != nil {
+			t.Fatalf("%s: expansion: %v", g.Name, err)
+		}
+		if opt.Period.Cmp(exp.Period) != 0 {
+			t.Errorf("%s: K-Iter Ω = %s ≠ expansion Ω = %s",
+				g.Name, opt.Period, exp.Period)
+		}
+	}
+}
+
+func TestTaskBoundRespected(t *testing.T) {
+	// With sequential phases, Ω ≥ qt · Σd(t) for every task.
+	graphs := []*csdf.Graph{gen.Figure2(), gen.MultiRateCycle(), gen.CyclicCSDF()}
+	for _, g := range graphs {
+		res := mustKIter(t, g)
+		q, err := g.RepetitionVector()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, task := range g.Tasks() {
+			bound := rat.FromInt(q[task.ID] * task.TotalDuration())
+			if res.Period.Cmp(bound) < 0 {
+				t.Errorf("%s: Ω = %s below task bound %s of %s",
+					g.Name, res.Period, bound, task.Name)
+			}
+		}
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	g := gen.DeadlockedRing()
+	_, err := kperiodic.KIter(g, kperiodic.Options{})
+	var de *kperiodic.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Tasks) == 0 || de.Error() == "" {
+		t.Error("deadlock certificate is empty")
+	}
+}
+
+func TestCapacityConstrainedRing(t *testing.T) {
+	// A→B with dA=2, dB=3 and buffer capacity C: the reverse-buffer
+	// encoding creates a ring with C tokens, so Ω = max(5/C, 3).
+	for _, c := range []struct {
+		cap  int64
+		want string
+	}{{1, "5"}, {2, "3"}, {5, "3"}} {
+		g := gen.TwoTaskChain(2, 3)
+		g.SetCapacity(0, c.cap)
+		bounded, err := g.WithCapacities()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := mustKIter(t, bounded)
+		if res.Period.String() != c.want {
+			t.Errorf("capacity %d: Ω = %s, want %s", c.cap, res.Period, c.want)
+		}
+	}
+}
+
+func TestCapacityMonotonicity(t *testing.T) {
+	// Larger buffers can only improve (reduce) the period.
+	g := gen.MultiRateCycle()
+	var prev rat.Rat
+	first := true
+	for capScale := int64(1); capScale <= 4; capScale++ {
+		bounded, err := g.ScaleCapacities(capScale).WithCapacities()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := kperiodic.KIter(bounded, kperiodic.Options{})
+		if err != nil {
+			// Tiny capacities may deadlock; that is fine as long as
+			// larger ones succeed.
+			var de *kperiodic.DeadlockError
+			if errors.As(err, &de) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if !first && res.Period.Cmp(prev) > 0 {
+			t.Errorf("period grew from %s to %s when scaling capacities to %d",
+				prev, res.Period, capScale)
+		}
+		prev, first = res.Period, false
+	}
+	if first {
+		t.Fatal("no capacity scale admitted a schedule")
+	}
+}
+
+func TestAutoConcurrencyUnbounded(t *testing.T) {
+	// Without sequential self-loops an acyclic graph has no circuit.
+	g := gen.TwoTaskChain(2, 3)
+	_, err := kperiodic.KIter(g, kperiodic.Options{AutoConcurrency: true})
+	if !errors.Is(err, kperiodic.ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestAutoConcurrencyNeverSlower(t *testing.T) {
+	graphs := []*csdf.Graph{gen.Figure2(), gen.MultiRateCycle(), gen.CyclicCSDF()}
+	for _, g := range graphs {
+		seq := mustKIter(t, g)
+		conc, err := kperiodic.KIter(g, kperiodic.Options{AutoConcurrency: true})
+		if errors.Is(err, kperiodic.ErrUnbounded) {
+			// Legitimate: with unbounded re-entrancy and enough initial
+			// tokens, overlapping executions pipeline without limit and
+			// no cyclic constraint survives at larger K.
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if conc.Period.Cmp(seq.Period) > 0 {
+			t.Errorf("%s: auto-concurrency period %s exceeds sequential %s",
+				g.Name, conc.Period, seq.Period)
+		}
+	}
+}
+
+func TestEvaluateKExplicitVectors(t *testing.T) {
+	g := gen.Figure2()
+	// Growing K must never increase the optimal period (larger schedule
+	// space). Check along the actual K-Iter trajectory.
+	res := mustKIter(t, g)
+	var prev rat.Rat
+	for i, step := range res.Trace {
+		if step.Infeasible {
+			continue
+		}
+		if i > 0 && step.Period.Cmp(prev) > 0 {
+			t.Errorf("step %d: period grew from %s to %s", i, prev, step.Period)
+		}
+		prev = step.Period
+	}
+	// And EvaluateK on the final K reproduces the optimum.
+	ev, err := kperiodic.EvaluateK(g, res.K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Period.Cmp(res.Period) != 0 {
+		t.Errorf("EvaluateK(final K) = %s, want %s", ev.Period, res.Period)
+	}
+	if !ev.Optimal {
+		t.Error("EvaluateK(final K) not optimal")
+	}
+}
+
+func TestEvaluationAccessors(t *testing.T) {
+	g := gen.Figure2()
+	res := mustKIter(t, g)
+	q, _ := g.RepetitionVector()
+	mu := res.TaskPeriod(0, q) // µA = Ω·K_A/q_A
+	want := res.Period.Mul(rat.NewRat(res.K[0], q[0]))
+	if mu.Cmp(want) != 0 {
+		t.Errorf("TaskPeriod = %s, want %s", mu, want)
+	}
+	if res.String() == "" {
+		t.Error("empty String()")
+	}
+	if res.Nodes == 0 || res.Arcs == 0 {
+		t.Error("bi-valued graph size not reported")
+	}
+}
+
+func TestFullUpdateAblationAgrees(t *testing.T) {
+	graphs := []*csdf.Graph{gen.Figure2(), gen.MultiRateCycle(), gen.CyclicCSDF()}
+	for _, g := range graphs {
+		a := mustKIter(t, g)
+		b, err := kperiodic.KIter(g, kperiodic.Options{FullUpdate: true})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if a.Period.Cmp(b.Period) != 0 {
+			t.Errorf("%s: lcm-update Ω = %s ≠ full-update Ω = %s",
+				g.Name, a.Period, b.Period)
+		}
+		if b.Iterations > a.Iterations+2 {
+			t.Errorf("%s: full update took more iterations (%d vs %d)",
+				g.Name, b.Iterations, a.Iterations)
+		}
+	}
+}
+
+func TestKIterOnInconsistentGraph(t *testing.T) {
+	g := csdf.NewGraph("bad")
+	a := g.AddSDFTask("a", 1)
+	b := g.AddSDFTask("b", 1)
+	g.AddSDFBuffer("x", a, b, 1, 1, 0)
+	g.AddSDFBuffer("y", a, b, 2, 1, 0)
+	if _, err := kperiodic.KIter(g, kperiodic.Options{}); err == nil {
+		t.Error("inconsistent graph accepted")
+	}
+}
+
+func TestSelfLoopTaskOnly(t *testing.T) {
+	// A single task alone: its sequential loop bounds the period at
+	// q·Σd = Σd.
+	g := csdf.NewGraph("solo")
+	g.AddTask("a", []int64{2, 5})
+	res := mustKIter(t, g)
+	if res.Period.String() != "7" {
+		t.Errorf("Ω = %s, want 7", res.Period)
+	}
+	if !res.Optimal {
+		t.Error("single-task circuit should certify optimal")
+	}
+}

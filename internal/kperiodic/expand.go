@@ -1,0 +1,225 @@
+package kperiodic
+
+import (
+	"fmt"
+	"math/big"
+
+	"kiter/internal/csdf"
+	"kiter/internal/mcr"
+	"kiter/internal/rat"
+)
+
+// builder assembles the bi-valued graph of the expanded CSDFG G̃ obtained
+// by duplicating every task's adjacent vectors Kt times (Section 3.2).
+//
+// Nodes are the first executions ⟨tp, 1⟩ of the expanded phases
+// p ∈ {1, …, Kt·ϕ(t)}. For every buffer b = (t, t′) and every useful pair
+// (p, p′) — those with α(p,p′) ≤ β(p,p′) (Theorem 2) — an arc carries
+//
+//	L = d̃(tp)            (the expanded phase duration)
+//	H = −β(p,p′)/(q̃t·ĩb) (an exact rational; q̃t·ĩb = qt·ib·lcm(K))
+//
+// so that the minimum period of G̃ equals the maximum cost-to-time ratio.
+type builder struct {
+	g      *csdf.Graph
+	q      []int64
+	K      []int64
+	lcmK   *big.Int
+	offset []int // node index of ⟨t1,1⟩ per task
+	nodes  int
+	mg     *mcr.Graph
+	seq    bool // add implicit sequential self-loops
+}
+
+func newBuilder(g *csdf.Graph, q, K []int64, opt Options) (*builder, error) {
+	if len(K) != g.NumTasks() {
+		return nil, fmt.Errorf("kperiodic: K has %d entries for %d tasks", len(K), g.NumTasks())
+	}
+	for t, k := range K {
+		if k <= 0 {
+			return nil, fmt.Errorf("kperiodic: K[%d] = %d must be positive", t, k)
+		}
+	}
+	b := &builder{
+		g:    g,
+		q:    q,
+		K:    append([]int64(nil), K...),
+		seq:  !opt.AutoConcurrency,
+		lcmK: big.NewInt(1),
+	}
+	tmp := new(big.Int)
+	for _, k := range K {
+		kb := big.NewInt(k)
+		tmp.GCD(nil, nil, b.lcmK, kb)
+		b.lcmK.Div(b.lcmK, tmp).Mul(b.lcmK, kb)
+	}
+	// Size budget: nodes and constraint pairs, checked before any
+	// allocation proportional to them.
+	var nodes, pairs int64
+	for t := 0; t < g.NumTasks(); t++ {
+		n, ok := rat.MulCheck(K[t], int64(g.Task(csdf.TaskID(t)).Phases()))
+		if !ok {
+			return nil, &ErrTooLarge{Nodes: -1}
+		}
+		nodes, ok = rat.AddCheck(nodes, n)
+		if !ok {
+			return nil, &ErrTooLarge{Nodes: -1}
+		}
+	}
+	for i := 0; i < g.NumBuffers(); i++ {
+		buf := g.Buffer(csdf.BufferID(i))
+		nS, okS := rat.MulCheck(K[buf.Src], int64(g.Task(buf.Src).Phases()))
+		nD, okD := rat.MulCheck(K[buf.Dst], int64(g.Task(buf.Dst).Phases()))
+		p, okP := int64(0), false
+		if okS && okD {
+			p, okP = rat.MulCheck(nS, nD)
+		}
+		if !okP {
+			return nil, &ErrTooLarge{Nodes: nodes, Pairs: -1}
+		}
+		pairs, okP = rat.AddCheck(pairs, p)
+		if !okP {
+			return nil, &ErrTooLarge{Nodes: nodes, Pairs: -1}
+		}
+	}
+	if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
+		return nil, &ErrTooLarge{Nodes: nodes, Pairs: pairs}
+	}
+	if opt.MaxPairs > 0 && pairs > opt.MaxPairs {
+		return nil, &ErrTooLarge{Nodes: nodes, Pairs: pairs}
+	}
+	b.offset = make([]int, g.NumTasks()+1)
+	for t := 0; t < g.NumTasks(); t++ {
+		b.offset[t] = b.nodes
+		b.nodes += int(K[t]) * g.Task(csdf.TaskID(t)).Phases()
+	}
+	b.offset[g.NumTasks()] = b.nodes
+	b.mg = mcr.New(b.nodes)
+	return b, nil
+}
+
+// node returns the bi-valued graph node of ⟨t, p̃⟩ with p̃ 1-based.
+func (b *builder) node(t csdf.TaskID, pTilde int) int {
+	return b.offset[t] + pTilde - 1
+}
+
+// phaseRef inverts node.
+func (b *builder) phaseRef(node int) PhaseRef {
+	// Binary search over offsets (tasks are few; linear is fine too).
+	lo, hi := 0, len(b.offset)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if b.offset[mid] <= node {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return PhaseRef{Task: csdf.TaskID(lo), Phase: node - b.offset[lo] + 1}
+}
+
+// duration returns d̃(tp̃) = d(t, ((p̃−1) mod ϕ)+1).
+func (b *builder) duration(t csdf.TaskID, pTilde int) int64 {
+	task := b.g.Task(t)
+	return task.Durations[(pTilde-1)%task.Phases()]
+}
+
+// build generates all constraint arcs.
+func (b *builder) build() error {
+	for i := 0; i < b.g.NumBuffers(); i++ {
+		if err := b.addBufferArcs(b.g.Buffer(csdf.BufferID(i))); err != nil {
+			return err
+		}
+	}
+	if b.seq {
+		for t := 0; t < b.g.NumTasks(); t++ {
+			b.addSequentialArcs(csdf.TaskID(t))
+		}
+	}
+	return nil
+}
+
+// addBufferArcs enumerates the useful pairs of one buffer of G̃.
+//
+// With src = t, dst = t′, expanded phase counts ϕ̃ = Kt·ϕ(t) and
+// ϕ̃′ = Kt′·ϕ(t′), expanded totals ĩ = Kt·ib and õ = Kt′·ob:
+//
+//	Q(p,p′)  = O⟨t′p′,1⟩ − I⟨tp,1⟩ − M0 + ĩn(p)
+//	α(p,p′)  = ⌈Q − min(ĩn(p), õut(p′))⌉_gcd(ĩ,õ)
+//	β(p,p′)  = ⌊Q − 1⌋_gcd(ĩ,õ)
+//
+// and each pair with α ≤ β yields the arc ⟨tp,1⟩ → ⟨t′p′,1⟩.
+func (b *builder) addBufferArcs(buf *csdf.Buffer) error {
+	src, dst := buf.Src, buf.Dst
+	phiS := b.g.Task(src).Phases()
+	phiD := b.g.Task(dst).Phases()
+	nS := int(b.K[src]) * phiS
+	nD := int(b.K[dst]) * phiD
+	ib, ob := buf.TotalIn(), buf.TotalOut()
+
+	iTil, ok := rat.MulCheck(b.K[src], ib)
+	if !ok {
+		return &rat.ErrOverflow{Op: "expanded production total"}
+	}
+	oTil, ok := rat.MulCheck(b.K[dst], ob)
+	if !ok {
+		return &rat.ErrOverflow{Op: "expanded consumption total"}
+	}
+	gcd := rat.Gcd(iTil, oTil)
+
+	// den = q̃t·ĩ = qt·ib·lcm(K), assembled exactly.
+	den := new(big.Int).Mul(big.NewInt(b.q[src]), big.NewInt(ib))
+	den.Mul(den, b.lcmK)
+
+	// Cumulative expanded I and O at the first execution of each phase.
+	cumI := make([]int64, nS+1) // cumI[p] = Ĩ⟨tp,1⟩
+	for p := 1; p <= nS; p++ {
+		cumI[p] = cumI[p-1] + buf.In[(p-1)%phiS]
+	}
+	cumO := make([]int64, nD+1)
+	for p := 1; p <= nD; p++ {
+		cumO[p] = cumO[p-1] + buf.Out[(p-1)%phiD]
+	}
+
+	neg := new(big.Int)
+	for p := 1; p <= nS; p++ {
+		inP := buf.In[(p-1)%phiS]
+		l := b.duration(src, p)
+		from := b.node(src, p)
+		base := -cumI[p] - buf.Initial + inP
+		for pp := 1; pp <= nD; pp++ {
+			outP := buf.Out[(pp-1)%phiD]
+			q := cumO[pp] + base
+			m := inP
+			if outP < m {
+				m = outP
+			}
+			alpha := rat.CeilTo(q-m, gcd)
+			beta := rat.FloorTo(q-1, gcd)
+			if alpha > beta {
+				continue
+			}
+			neg.SetInt64(-beta)
+			h := rat.FromBigInts(neg, den)
+			b.mg.AddArc(from, b.node(dst, pp), l, h)
+		}
+	}
+	return nil
+}
+
+// addSequentialArcs enforces the ordered, non-overlapping execution of a
+// task's phases. These are exactly the useful pairs of an implicit
+// self-buffer with unit rates and one initial token: an arc p̃ → p̃+1 with
+// β = 0 for consecutive phases, and the wrap-around arc ϕ̃ → 1 with
+// β = −ϕ̃, i.e. H = ϕ̃/(q̃t·ϕ̃·…) = Kt/(qt·lcm(K)).
+func (b *builder) addSequentialArcs(t csdf.TaskID) {
+	phi := b.g.Task(t).Phases()
+	n := int(b.K[t]) * phi
+	for p := 1; p < n; p++ {
+		b.mg.AddArc(b.node(t, p), b.node(t, p+1), b.duration(t, p), rat.Rat{})
+	}
+	// Wrap-around: the next periodicity window starts after this one.
+	den := new(big.Int).Mul(big.NewInt(b.q[t]), b.lcmK)
+	h := rat.FromBigInts(big.NewInt(b.K[t]), den)
+	b.mg.AddArc(b.node(t, n), b.node(t, 1), b.duration(t, n), h)
+}

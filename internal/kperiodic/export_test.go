@@ -1,0 +1,106 @@
+package kperiodic_test
+
+import (
+	"strings"
+	"testing"
+
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+	"kiter/internal/rat"
+)
+
+func TestBivaluedGraphFigure5(t *testing.T) {
+	g := gen.Figure2()
+	K := []int64{1, 1, 1, 1}
+	// Buffer-induced arcs only, as drawn in the paper's Figure 5.
+	arcs, err := kperiodic.BivaluedGraph(g, K, kperiodic.Options{AutoConcurrency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arcs) != 10 {
+		t.Fatalf("got %d arcs, want 10 (Figure 5)", len(arcs))
+	}
+	// Every arc must carry the unit phase duration of its source.
+	for _, a := range arcs {
+		if a.L != 1 {
+			t.Errorf("arc %v→%v: L = %d, want 1", a.From, a.To, a.L)
+		}
+	}
+	// Check two hand-computed weights: A1→D1 has H = −1/3 and D1→C1 has
+	// H = 1/6 (proportional to the paper's −1/18 and 1/36).
+	found := 0
+	for _, a := range arcs {
+		from := g.Task(a.From.Task).Name
+		to := g.Task(a.To.Task).Name
+		switch {
+		case from == "A" && to == "D":
+			if a.H.Cmp(rat.NewRat(-1, 3)) != 0 {
+				t.Errorf("H(A1→D1) = %s, want -1/3", a.H)
+			}
+			found++
+		case from == "D" && to == "C":
+			if a.H.Cmp(rat.NewRat(1, 6)) != 0 {
+				t.Errorf("H(D1→C1) = %s, want 1/6", a.H)
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("found %d of the 2 hand-checked arcs", found)
+	}
+}
+
+func TestBivaluedGraphWithSelfLoops(t *testing.T) {
+	g := gen.Figure2()
+	K := []int64{1, 1, 1, 1}
+	withSeq, err := kperiodic.BivaluedGraph(g, K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 buffer arcs + sequential arcs: A contributes 2 (chain+wrap),
+	// B contributes 3, C and D one wrap each = 17 total.
+	if len(withSeq) != 17 {
+		t.Errorf("got %d arcs, want 17 with sequential phases", len(withSeq))
+	}
+}
+
+func TestBivaluedGraphGrowsWithK(t *testing.T) {
+	g := gen.Figure2()
+	a1, err := kperiodic.BivaluedGraph(g, []int64{1, 1, 1, 1}, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := kperiodic.BivaluedGraph(g, []int64{2, 2, 2, 2}, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2) <= len(a1) {
+		t.Errorf("K=2 graph (%d arcs) not larger than K=1 (%d arcs)", len(a2), len(a1))
+	}
+}
+
+func TestWriteBivaluedDOT(t *testing.T) {
+	g := gen.Figure2()
+	var sb strings.Builder
+	err := kperiodic.WriteBivaluedDOT(&sb, g, []int64{1, 1, 1, 1}, kperiodic.Options{AutoConcurrency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, frag := range []string{"digraph", "A_1", "D_1", "(1, "} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}
+
+func TestBivaluedGraphErrors(t *testing.T) {
+	g := gen.Figure2()
+	if _, err := kperiodic.BivaluedGraph(g, []int64{1}, kperiodic.Options{}); err == nil {
+		t.Error("short K accepted")
+	}
+	bad := gen.DeadlockedRing() // consistent, so BivaluedGraph still works
+	if _, err := kperiodic.BivaluedGraph(bad, []int64{1, 1}, kperiodic.Options{}); err != nil {
+		t.Errorf("structurally valid graph rejected: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package kperiodic_test
+
+import (
+	"errors"
+	"testing"
+
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+)
+
+func TestInfeasibleKPathThroughKIter(t *testing.T) {
+	spec := gen.IndustrialSpecs()[2]
+	g, err := gen.Industrial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := g.ScaleCapacities(2).WithCapacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 1-periodic method must fail on this instance: either the
+	// certificate circuit already proves deadlock, or it only rules out
+	// K = 1 (ErrInfeasibleK).
+	_, err1 := kperiodic.Evaluate1(bounded, kperiodic.Options{})
+	var inf *kperiodic.ErrInfeasibleK
+	var dead *kperiodic.DeadlockError
+	if !errors.As(err1, &inf) && !errors.As(err1, &dead) {
+		t.Fatalf("Evaluate1 err = %v, want infeasibility", err1)
+	}
+	if errors.As(err1, &inf) {
+		if len(inf.Tasks) == 0 || inf.Error() == "" {
+			t.Error("empty infeasibility certificate")
+		}
+	}
+	// K-Iter works through growing K and ends with a deadlock
+	// certificate; the partial trace documents the traversal.
+	res, err2 := kperiodic.KIter(bounded, kperiodic.Options{MaxIterations: 500})
+	if !errors.As(err2, &dead) {
+		t.Fatalf("KIter err = %v, want DeadlockError", err2)
+	}
+	if res == nil || len(res.Trace) == 0 {
+		t.Fatal("no partial trace returned with the deadlock")
+	}
+	sawInfeasible := false
+	sawGrowth := false
+	for _, step := range res.Trace {
+		if step.Infeasible {
+			sawInfeasible = true
+		}
+		for _, k := range step.K {
+			if k > 1 {
+				sawGrowth = true
+			}
+		}
+	}
+	if !sawInfeasible {
+		t.Error("trace shows no infeasible step")
+	}
+	if !sawGrowth {
+		t.Error("K never grew before the deadlock certificate")
+	}
+}
+
+func TestFeasibleAboveBoundary(t *testing.T) {
+	spec := gen.IndustrialSpecs()[2]
+	g, err := gen.Industrial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res *kperiodic.KIterResult
+	for slack := int64(2); slack <= 256; slack *= 2 {
+		bounded, berr := g.ScaleCapacities(slack).WithCapacities()
+		if berr != nil {
+			t.Fatal(berr)
+		}
+		res, err = kperiodic.KIter(bounded, kperiodic.Options{MaxIterations: 500})
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("no slack ≤ 256 feasible: %v", err)
+	}
+	if !res.Optimal {
+		t.Error("not certified optimal")
+	}
+	// Tighter buffers can only slow the graph down relative to unbounded.
+	unbounded, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period.Cmp(unbounded.Period) < 0 {
+		t.Error("bounded graph faster than unbounded")
+	}
+}
+
+func TestErrTooLargeBudget(t *testing.T) {
+	g := gen.Figure2()
+	_, err := kperiodic.EvaluateK(g, []int64{1, 1, 1, 1}, kperiodic.Options{MaxNodes: 3})
+	var tl *kperiodic.ErrTooLarge
+	if !errors.As(err, &tl) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	if tl.Error() == "" {
+		t.Error("empty budget message")
+	}
+	// Pairs budget too.
+	_, err = kperiodic.EvaluateK(g, []int64{1, 1, 1, 1}, kperiodic.Options{MaxPairs: 2})
+	if !errors.As(err, &tl) {
+		t.Fatalf("err = %v, want ErrTooLarge (pairs)", err)
+	}
+	// K-Iter propagates the budget error with its partial trace.
+	res, err := kperiodic.KIter(g, kperiodic.Options{MaxNodes: 3})
+	if !errors.As(err, &tl) {
+		t.Fatalf("KIter err = %v, want ErrTooLarge", err)
+	}
+	if res == nil {
+		t.Error("no partial result with budget error")
+	}
+}

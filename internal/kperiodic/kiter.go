@@ -1,0 +1,167 @@
+package kperiodic
+
+import (
+	"errors"
+	"fmt"
+
+	"kiter/internal/csdf"
+	"kiter/internal/mcr"
+	"kiter/internal/rat"
+)
+
+// IterStep records one round of the K-Iter loop for tracing and the
+// convergence experiments.
+type IterStep struct {
+	K             []int64
+	Period        rat.Rat // Ω_G for this K; zero when the K was infeasible
+	Infeasible    bool
+	CriticalTasks []csdf.TaskID
+	Nodes, Arcs   int
+}
+
+// KIterResult is the outcome of Algorithm 1: an optimal Evaluation plus
+// the iteration trace.
+type KIterResult struct {
+	*Evaluation
+	Trace      []IterStep
+	Iterations int
+}
+
+const defaultMaxIterations = 10000
+
+// KIter computes the exact maximum throughput of g by Algorithm 1 of the
+// paper: starting from K = [1,…,1], it repeatedly evaluates the minimum
+// K-periodic period, applies the Theorem 4 optimality test to the critical
+// circuit, and on failure bumps Kt ← lcm(Kt, q̄t) for every task t of the
+// circuit. Every Kt stays a divisor of qt and grows strictly on failure,
+// so the loop terminates — in the worst case at K = q, where the test
+// always passes.
+//
+// Intermediate rounds run the float64 MCRP fast path; once the test passes
+// the candidate circuit is certified exactly, and if certification reveals
+// a different (truly critical) circuit the test is re-applied to it, so the
+// final result is exact and carries Optimal = true.
+//
+// Infeasible Ks (possible on capacity-bounded graphs, whose 1-periodic LP
+// may have no solution) are handled by treating the infeasibility
+// certificate circuit as critical: if it passes the multiplicity condition
+// the graph is declared dead (*DeadlockError), otherwise K grows and the
+// loop continues.
+func KIter(g *csdf.Graph, opt Options) (*KIterResult, error) {
+	q, err := g.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	K := make([]int64, g.NumTasks())
+	for i := range K {
+		K[i] = 1
+	}
+	maxIter := opt.MaxIterations
+	if maxIter <= 0 {
+		maxIter = defaultMaxIterations
+	}
+	inner := opt
+	inner.SkipCertify = true
+
+	result := &KIterResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		result.Iterations = iter + 1
+		ev, err := solveK(g, q, K, inner)
+		if err != nil {
+			return result, err
+		}
+		if ev.deadlock != nil {
+			tasks := uniqueTasks(ev.deadlock)
+			result.Trace = append(result.Trace, IterStep{
+				K:             append([]int64(nil), K...),
+				Infeasible:    true,
+				CriticalTasks: tasks,
+				Nodes:         ev.b.mg.NumNodes(),
+				Arcs:          ev.b.mg.NumArcs(),
+			})
+			if optimalityTest(tasks, q, K) {
+				return result, &DeadlockError{K: append([]int64(nil), K...), Tasks: tasks}
+			}
+			updateK(K, tasks, q, opt)
+			continue
+		}
+
+		tasks := criticalTasks(ev)
+		lcmRat := rat.FromBigInts(bigOne, ev.b.lcmK)
+		result.Trace = append(result.Trace, IterStep{
+			K:             append([]int64(nil), K...),
+			Period:        ev.res.Ratio.Mul(lcmRat),
+			CriticalTasks: tasks,
+			Nodes:         ev.b.mg.NumNodes(),
+			Arcs:          ev.b.mg.NumArcs(),
+		})
+		if !optimalityTest(tasks, q, K) {
+			updateK(K, tasks, q, opt)
+			continue
+		}
+
+		// The candidate circuit passes; make the circuit exact before
+		// trusting the verdict.
+		if !opt.SkipCertify && !ev.res.Certified {
+			refined, err := mcr.Refine(ev.b.mg, ev.res)
+			if err != nil {
+				var de *mcr.DeadlockError
+				if errors.As(err, &de) {
+					var refs []PhaseRef
+					for _, ai := range de.CycleArcs {
+						refs = append(refs, ev.b.phaseRef(ev.b.mg.Arc(ai).From))
+					}
+					dTasks := uniqueTasks(refs)
+					if optimalityTest(dTasks, q, K) {
+						return result, &DeadlockError{K: append([]int64(nil), K...), Tasks: dTasks}
+					}
+					updateK(K, dTasks, q, opt)
+					continue
+				}
+				return nil, err
+			}
+			ev.res = refined
+			tasks = criticalTasks(ev)
+			if !optimalityTest(tasks, q, K) {
+				// The certified circuit differs and fails the test.
+				updateK(K, tasks, q, opt)
+				continue
+			}
+		}
+		out := ev.toEvaluation()
+		out.Optimal = true
+		result.Evaluation = out
+		return result, nil
+	}
+	return nil, fmt.Errorf("kperiodic: K-Iter did not converge within %d iterations", maxIter)
+}
+
+func criticalTasks(ev *evaluation) []csdf.TaskID {
+	refs := make([]PhaseRef, 0, len(ev.res.CycleNodes))
+	for _, node := range ev.res.CycleNodes {
+		refs = append(refs, ev.b.phaseRef(node))
+	}
+	return uniqueTasks(refs)
+}
+
+// updateK applies the paper's periodicity bump: for every task t of the
+// critical circuit, Kt ← lcm(Kt, q̄t) with q̄t = qt/gcd{qt′ : t′ ∈ c}.
+// With FullUpdate (ablation) the circuit's tasks jump straight to Kt = qt.
+func updateK(K []int64, tasks []csdf.TaskID, q []int64, opt Options) {
+	if opt.FullUpdate {
+		for _, t := range tasks {
+			K[t] = q[t]
+		}
+		return
+	}
+	var g int64
+	for _, t := range tasks {
+		g = rat.Gcd(g, q[t])
+	}
+	for _, t := range tasks {
+		qBar := q[t] / g
+		// Both K[t] and q̄t divide qt, so the lcm fits.
+		l, _ := rat.Lcm(K[t], qBar)
+		K[t] = l
+	}
+}

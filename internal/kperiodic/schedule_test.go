@@ -1,0 +1,127 @@
+package kperiodic_test
+
+import (
+	"testing"
+
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+	"kiter/internal/rat"
+)
+
+func TestScheduleKFigure2(t *testing.T) {
+	g := gen.Figure2()
+	res := mustKIter(t, g)
+	sch, err := kperiodic.ScheduleK(g, res.K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Period.Cmp(res.Period) != 0 {
+		t.Errorf("schedule period %s ≠ evaluation period %s", sch.Period, res.Period)
+	}
+	if err := sch.Validate(g, 4); err != nil {
+		t.Errorf("optimal schedule infeasible: %v", err)
+	}
+}
+
+func TestSchedule1PeriodicFigure2(t *testing.T) {
+	g := gen.Figure2()
+	K := []int64{1, 1, 1, 1}
+	sch, err := kperiodic.ScheduleK(g, K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Period.String() != "18" {
+		t.Errorf("1-periodic schedule period = %s, want 18", sch.Period)
+	}
+	if err := sch.Validate(g, 5); err != nil {
+		t.Errorf("1-periodic schedule infeasible: %v", err)
+	}
+}
+
+func TestScheduleStartOfPeriodicity(t *testing.T) {
+	g := gen.Figure2()
+	res := mustKIter(t, g)
+	sch, err := kperiodic.ScheduleK(g, res.K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S⟨tp, n+Kt⟩ − S⟨tp, n⟩ = µt for every phase and n.
+	for ti := 0; ti < g.NumTasks(); ti++ {
+		task := g.Task(csdf.TaskID(ti))
+		for p := 1; p <= task.Phases(); p++ {
+			for n := int64(1); n <= 3; n++ {
+				d := sch.StartOf(csdf.TaskID(ti), p, n+sch.K[ti]).Sub(sch.StartOf(csdf.TaskID(ti), p, n))
+				if d.Cmp(sch.Mu[ti]) != 0 {
+					t.Fatalf("task %s phase %d: S(n+K)−S(n) = %s, want µ = %s",
+						task.Name, p, d, sch.Mu[ti])
+				}
+			}
+		}
+	}
+}
+
+func TestScheduleValidateAcrossFixtures(t *testing.T) {
+	graphs := []*csdf.Graph{
+		gen.MultiRateCycle(),
+		gen.CyclicCSDF(),
+		gen.HSDFRing(4, []int64{1, 2}, 2),
+		gen.SampleRateConverter(),
+	}
+	for _, g := range graphs {
+		res := mustKIter(t, g)
+		sch, err := kperiodic.ScheduleK(g, res.K, kperiodic.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if err := sch.Validate(g, 3); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestScheduleValidateRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g, err := gen.RandomSmall(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := kperiodic.KIter(g, kperiodic.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sch, err := kperiodic.ScheduleK(g, res.K, kperiodic.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sch.Validate(g, 3); err != nil {
+			t.Errorf("seed %d (%s): %v", seed, g.Name, err)
+		}
+	}
+}
+
+func TestScheduleCatchesBrokenStarts(t *testing.T) {
+	// Sanity-check the checker itself: corrupting a start time must be
+	// detected.
+	g := gen.MultiRateCycle()
+	res := mustKIter(t, g)
+	sch, err := kperiodic.ScheduleK(g, res.K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull every start of task B far earlier than its inputs allow.
+	for j := range sch.Starts[1] {
+		sch.Starts[1][j] = sch.Starts[1][j].Sub(rat.FromInt(1000))
+	}
+	if err := sch.Validate(g, 2); err == nil {
+		t.Error("corrupted schedule passed validation")
+	}
+}
+
+func TestScheduleDeadlockedGraph(t *testing.T) {
+	g := gen.DeadlockedRing()
+	_, err := kperiodic.ScheduleK(g, []int64{1, 1}, kperiodic.Options{})
+	if err == nil {
+		t.Error("schedule produced for dead graph")
+	}
+}

@@ -1,0 +1,230 @@
+// Package mcr solves the Maximum Cost-to-time Ratio Problem (MCRP) on
+// bi-valued directed graphs, the computational core of the K-Iter
+// algorithm (Section 3.3 of the paper).
+//
+// A bi-valued graph G = (N, E) carries two weights per arc e: a cost L(e)
+// (a phase duration, an integer) and a time H(e) (a rational, possibly
+// negative). The cost-to-time ratio of a circuit c is
+// R(c) = Σ L(e) / Σ H(e), and the MCRP asks for λ = max over elementary
+// circuits of R(c) together with a critical circuit attaining it.
+//
+// The solver combines a float64 Howard policy iteration (fast path) with an
+// exact certification loop: the candidate circuit's ratio is recomputed in
+// exact rational arithmetic and a Bellman–Ford positive-cycle check on the
+// arc weights L(e) − λ·H(e) either certifies optimality or produces a
+// strictly better circuit, whose exact ratio becomes the new candidate.
+// Since every candidate is the exact ratio of a real circuit and candidates
+// strictly increase, the loop terminates; the published result is exact.
+//
+// Circuits whose total time is non-positive while their total cost is
+// positive make the underlying scheduling LP infeasible; they are reported
+// as a DeadlockError carrying the certificate circuit.
+package mcr
+
+import (
+	"errors"
+	"fmt"
+
+	"kiter/internal/rat"
+)
+
+// Arc is a bi-valued arc. L is the integer cost (a duration); H is the
+// exact rational time weight. HF caches H as float64 for the fast path.
+type Arc struct {
+	From, To int
+	L        int64
+	H        rat.Rat
+	HF       float64
+}
+
+// Graph is a bi-valued directed graph under construction or analysis.
+// Build with New and AddArc; analyses may be run at any time.
+type Graph struct {
+	n    int
+	arcs []Arc
+	out  [][]int32 // out[v] = indices into arcs
+}
+
+// New returns an empty bi-valued graph with n nodes (0 … n−1).
+func New(n int) *Graph {
+	return &Graph{n: n, out: make([][]int32, n)}
+}
+
+// AddArc appends an arc from → to with cost l and exact time h, returning
+// its arc index.
+func (g *Graph) AddArc(from, to int, l int64, h rat.Rat) int {
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, Arc{From: from, To: to, L: l, H: h, HF: h.Float()})
+	g.out[from] = append(g.out[from], int32(id))
+	return id
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumArcs returns the arc count.
+func (g *Graph) NumArcs() int { return len(g.arcs) }
+
+// Arc returns the arc with the given index. The pointer aliases graph
+// storage and must not be mutated.
+func (g *Graph) Arc(i int) *Arc { return &g.arcs[i] }
+
+// Out returns the indices of arcs leaving v. The slice aliases storage.
+func (g *Graph) Out(v int) []int32 { return g.out[v] }
+
+// CycleLH sums the cost and exact time of the given arc sequence.
+func (g *Graph) CycleLH(arcIdx []int) (l int64, h rat.Rat) {
+	for _, ai := range arcIdx {
+		a := &g.arcs[ai]
+		l += a.L
+		h = h.Add(a.H)
+	}
+	return l, h
+}
+
+// CycleRatio returns the exact cost-to-time ratio of the circuit given as
+// a sequence of arc indices. The circuit's time must be positive.
+func (g *Graph) CycleRatio(arcIdx []int) (rat.Rat, error) {
+	l, h := g.CycleLH(arcIdx)
+	if h.Sign() <= 0 {
+		return rat.Rat{}, &DeadlockError{CycleArcs: append([]int(nil), arcIdx...), L: l, H: h}
+	}
+	return rat.FromInt(l).Div(h), nil
+}
+
+// Result is the outcome of an MCRP resolution.
+type Result struct {
+	// Ratio is the exact maximum cost-to-time ratio λ.
+	Ratio rat.Rat
+	// CycleArcs is a critical circuit as a sequence of arc indices, in
+	// traversal order (the head of arc i is the tail of arc i+1, wrapping).
+	CycleArcs []int
+	// CycleNodes is the corresponding node sequence (same length).
+	CycleNodes []int
+	// Certified reports whether the exact certification pass ran.
+	Certified bool
+	// Iterations counts Howard policy-improvement rounds.
+	Iterations int
+	// Refinements counts exact certification rounds that found a strictly
+	// better circuit than the float candidate.
+	Refinements int
+}
+
+// ErrNoCycle is returned when the graph has no circuit at all (the
+// scheduling problem is unconstrained; throughput is limited only by
+// individual tasks).
+var ErrNoCycle = errors.New("mcr: graph has no circuit")
+
+// DeadlockError reports a circuit whose total time H(c) is ≤ 0 while its
+// total cost is positive (or H(c) < 0 outright): no finite period satisfies
+// the cycle's constraints, i.e. the schedule is infeasible for this graph.
+type DeadlockError struct {
+	CycleArcs  []int
+	CycleNodes []int
+	L          int64
+	H          rat.Rat
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("mcr: infeasible circuit (L=%d, H=%s over %d arcs)", e.L, e.H, len(e.CycleArcs))
+}
+
+// nodesOfCycle recovers the node sequence from an arc sequence.
+func (g *Graph) nodesOfCycle(arcIdx []int) []int {
+	nodes := make([]int, len(arcIdx))
+	for i, ai := range arcIdx {
+		nodes[i] = g.arcs[ai].From
+	}
+	return nodes
+}
+
+// infeasibleCycle reports whether a circuit with cost l and time h admits
+// no positive finite period: Ω·h ≥ l has no solution Ω > 0.
+func infeasibleCycle(l int64, h rat.Rat) bool {
+	if h.Sign() < 0 {
+		return true // Ω ≤ l/h < 0
+	}
+	if h.Sign() == 0 && l > 0 {
+		return true // 0 ≥ l > 0
+	}
+	return false
+}
+
+// SCCs returns the strongly connected components of the graph (Tarjan,
+// iterative). Components are returned in reverse topological order; each
+// component lists its nodes.
+func (g *Graph) SCCs() [][]int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack  []int
+		comps  [][]int
+		cnt    int
+		frames []frame
+	)
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ai == 0 {
+				index[v] = cnt
+				low[v] = cnt
+				cnt++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ai < len(g.out[v]) {
+				w := g.arcs[g.out[v][f.ai]].To
+				f.ai++
+				if index[w] == unvisited {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// post-visit
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+type frame struct {
+	v  int
+	ai int
+}

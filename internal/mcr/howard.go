@@ -1,0 +1,314 @@
+package mcr
+
+import (
+	"math"
+
+	"kiter/internal/rat"
+)
+
+// Options tunes Solve.
+type Options struct {
+	// SkipCertify disables the exact certification pass; the result is
+	// then the float64 Howard candidate (Certified=false). Used by
+	// intermediate K-Iter rounds and by throughput-shape benchmarks.
+	SkipCertify bool
+	// MaxHowardRounds bounds policy-improvement rounds (0 = default).
+	// Exceeding the bound is harmless when certification is enabled: the
+	// certification loop repairs any suboptimal candidate.
+	MaxHowardRounds int
+}
+
+const defaultHowardRounds = 10000
+
+// relEps is the relative tolerance for float64 comparisons in the Howard
+// fast path. Exactness is restored by certification.
+const relEps = 1e-12
+
+func gtEps(a, b float64) bool {
+	diff := a - b
+	scale := math.Abs(a) + math.Abs(b) + 1
+	return diff > relEps*scale
+}
+
+// Solve computes the maximum cost-to-time ratio of g and a critical
+// circuit. It returns ErrNoCycle for acyclic graphs and a *DeadlockError
+// when some circuit admits no finite positive period.
+func Solve(g *Graph, opt Options) (Result, error) {
+	alive := g.trimToCyclicCore()
+	if alive == nil {
+		return Result{}, ErrNoCycle
+	}
+	res, err := g.howard(alive, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	if opt.SkipCertify {
+		return res, nil
+	}
+	return g.certifyLoop(res)
+}
+
+// trimToCyclicCore returns a membership mask of the nodes from which a
+// circuit is reachable (every remaining node keeps at least one outgoing
+// arc into the remaining set), or nil when the graph is acyclic.
+func (g *Graph) trimToCyclicCore() []bool {
+	alive := make([]bool, g.n)
+	outDeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		alive[v] = true
+		outDeg[v] = len(g.out[v])
+	}
+	// Repeatedly remove nodes with no outgoing arc into the alive set.
+	// Maintain a worklist of candidates.
+	var work []int
+	for v := 0; v < g.n; v++ {
+		if outDeg[v] == 0 {
+			work = append(work, v)
+		}
+	}
+	// in-adjacency built lazily only if something trims
+	var in [][]int32
+	buildIn := func() {
+		in = make([][]int32, g.n)
+		for i := range g.arcs {
+			a := &g.arcs[i]
+			in[a.To] = append(in[a.To], int32(i))
+		}
+	}
+	for len(work) > 0 {
+		if in == nil {
+			buildIn()
+		}
+		v := work[len(work)-1]
+		work = work[:len(work)-1]
+		if !alive[v] {
+			continue
+		}
+		alive[v] = false
+		for _, ai := range in[v] {
+			u := g.arcs[ai].From
+			if !alive[u] {
+				continue
+			}
+			outDeg[u]--
+			if outDeg[u] == 0 {
+				work = append(work, u)
+			}
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if alive[v] {
+			return alive
+		}
+	}
+	return nil
+}
+
+// howard runs max-ratio policy iteration on the alive subgraph and returns
+// an uncertified candidate result.
+func (g *Graph) howard(alive []bool, opt Options) (Result, error) {
+	maxRounds := opt.MaxHowardRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultHowardRounds
+	}
+
+	pol := make([]int32, g.n) // arc index chosen per node; -1 = dead
+	for v := range pol {
+		pol[v] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if !alive[v] {
+			continue
+		}
+		for _, ai := range g.out[v] {
+			if alive[g.arcs[ai].To] {
+				pol[v] = ai
+				break
+			}
+		}
+	}
+
+	lambda := make([]float64, g.n)
+	val := make([]float64, g.n)
+	var (
+		bestCycle []int
+		bestRatio float64
+	)
+
+	for round := 0; round < maxRounds; round++ {
+		cycle, ratio, derr := g.evaluatePolicy(alive, pol, lambda, val)
+		if derr != nil {
+			return Result{}, derr
+		}
+		bestCycle, bestRatio = cycle, ratio
+
+		improved := false
+		// Phase A: strict λ improvement.
+		for v := 0; v < g.n; v++ {
+			if !alive[v] {
+				continue
+			}
+			best := pol[v]
+			bestL := lambda[g.arcs[best].To]
+			for _, ai := range g.out[v] {
+				w := g.arcs[ai].To
+				if !alive[w] {
+					continue
+				}
+				if gtEps(lambda[w], bestL) {
+					best, bestL = ai, lambda[w]
+				}
+			}
+			if best != pol[v] && gtEps(bestL, lambda[g.arcs[pol[v]].To]) {
+				pol[v] = best
+				improved = true
+			}
+		}
+		if improved {
+			continue
+		}
+		// Phase B: value improvement at equal λ.
+		for v := 0; v < g.n; v++ {
+			if !alive[v] {
+				continue
+			}
+			lv := lambda[v]
+			cur := val[v]
+			for _, ai := range g.out[v] {
+				a := &g.arcs[ai]
+				w := a.To
+				if !alive[w] || gtEps(lv, lambda[w]) || gtEps(lambda[w], lv) {
+					continue
+				}
+				cand := float64(a.L) - lv*a.HF + val[w]
+				if gtEps(cand, cur) {
+					pol[v] = ai
+					cur = cand
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	_ = bestRatio
+	if bestCycle == nil {
+		return Result{}, ErrNoCycle
+	}
+	res := Result{
+		CycleArcs:  bestCycle,
+		CycleNodes: g.nodesOfCycle(bestCycle),
+	}
+	ratio, err := g.CycleRatio(bestCycle)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Ratio = ratio
+	return res, nil
+}
+
+// evaluatePolicy performs the value-determination step: it finds the
+// circuits of the policy's functional graph, computes their exact ratios
+// (reporting infeasible circuits as DeadlockError), assigns λ and a
+// potential to every alive node, and returns the best policy circuit with
+// its float ratio.
+func (g *Graph) evaluatePolicy(alive []bool, pol []int32, lambda, val []float64) ([]int, float64, error) {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on the current path
+		black = 2 // finished
+	)
+	color := make([]int8, g.n)
+	var (
+		bestCycle []int
+		bestRatio = math.Inf(-1)
+	)
+	order := make([]int, 0, 64) // current path (nodes)
+	for s := 0; s < g.n; s++ {
+		if !alive[s] || color[s] != white {
+			continue
+		}
+		order = order[:0]
+		v := s
+		for alive[v] && color[v] == white {
+			color[v] = grey
+			order = append(order, v)
+			v = g.arcs[pol[v]].To
+		}
+		if color[v] == grey {
+			// Found a new policy circuit: the suffix of order from v.
+			start := 0
+			for order[start] != v {
+				start++
+			}
+			cyc := order[start:]
+			arcs := make([]int, len(cyc))
+			for i, u := range cyc {
+				arcs[i] = int(pol[u])
+			}
+			l, h := g.CycleLH(arcs)
+			if infeasibleCycle(l, h) {
+				return nil, 0, &DeadlockError{
+					CycleArcs:  arcs,
+					CycleNodes: append([]int(nil), cyc...),
+					L:          l,
+					H:          h,
+				}
+			}
+			var lam float64
+			if h.Sign() == 0 {
+				// l == 0 too: degenerate circuit, constrains nothing.
+				lam = math.Inf(-1)
+			} else {
+				lam = rat.FromInt(l).Div(h).Float()
+			}
+			if lam > bestRatio {
+				bestRatio = lam
+				bestCycle = append([]int(nil), arcs...)
+			}
+			// Assign λ and potentials around the circuit: fix val of the
+			// entry node to 0 and walk the circuit backwards so that
+			// val[u] = L − λH + val[next] holds on every arc except the
+			// closing one (whose defect is the circuit's zero-sum).
+			for _, u := range cyc {
+				lambda[u] = lam
+			}
+			val[v] = 0
+			if !math.IsInf(lam, -1) {
+				for i := len(cyc) - 1; i >= 1; i-- {
+					u := cyc[i]
+					a := &g.arcs[pol[u]]
+					val[u] = float64(a.L) - lam*a.HF + val[a.To]
+				}
+			} else {
+				for _, u := range cyc {
+					val[u] = 0
+				}
+			}
+			for _, u := range cyc {
+				color[u] = black
+			}
+		}
+		// Unwind the tree part of the path in reverse, inheriting from the
+		// policy successor (already black).
+		for i := len(order) - 1; i >= 0; i-- {
+			u := order[i]
+			if color[u] == black {
+				continue
+			}
+			a := &g.arcs[pol[u]]
+			lambda[u] = lambda[a.To]
+			if math.IsInf(lambda[u], -1) {
+				val[u] = 0
+			} else {
+				val[u] = float64(a.L) - lambda[u]*a.HF + val[a.To]
+			}
+			color[u] = black
+		}
+	}
+	if bestCycle == nil {
+		return nil, 0, ErrNoCycle
+	}
+	return bestCycle, bestRatio, nil
+}

@@ -1,0 +1,132 @@
+package mcr
+
+import (
+	"math"
+
+	"kiter/internal/rat"
+)
+
+// MaxCycleMean computes the maximum cycle mean of g — the maximum over
+// circuits of Σ L(e) / |c| — using Karp's dynamic program per strongly
+// connected component. The H weights are ignored (treated as 1 per arc).
+//
+// The computation is exact (integer dynamic program, rational comparison).
+// It exists as an independent oracle for the unit-time special case: on
+// graphs whose arcs all have H = 1, Solve and MaxCycleMean must agree,
+// which the test suite exploits, and it serves as an MCRP-engine ablation
+// point for HSDF-like instances.
+func MaxCycleMean(g *Graph) (rat.Rat, error) {
+	comps := g.SCCs()
+	best := rat.Rat{}
+	found := false
+	for _, comp := range comps {
+		if len(comp) == 1 {
+			// A singleton component only matters if it has a self-loop.
+			v := comp[0]
+			self := false
+			for _, ai := range g.out[v] {
+				if g.arcs[ai].To == v {
+					self = true
+					break
+				}
+			}
+			if !self {
+				continue
+			}
+		}
+		mean, ok := g.karpOnComponent(comp)
+		if !ok {
+			continue
+		}
+		if !found || mean.Cmp(best) > 0 {
+			best = mean
+			found = true
+		}
+	}
+	if !found {
+		return rat.Rat{}, ErrNoCycle
+	}
+	return best, nil
+}
+
+// karpOnComponent runs Karp's recurrence on one SCC. It returns the
+// component's maximum cycle mean and whether the component contains a
+// circuit (false only for degenerate singletons).
+func (g *Graph) karpOnComponent(comp []int) (rat.Rat, bool) {
+	n := len(comp)
+	local := make(map[int]int, n)
+	for i, v := range comp {
+		local[v] = i
+	}
+	type larc struct {
+		from, to int
+		l        int64
+	}
+	var arcs []larc
+	for _, v := range comp {
+		lv := local[v]
+		for _, ai := range g.out[v] {
+			a := &g.arcs[ai]
+			if lw, ok := local[a.To]; ok {
+				arcs = append(arcs, larc{from: lv, to: lw, l: a.L})
+			}
+		}
+	}
+	if len(arcs) == 0 {
+		return rat.Rat{}, false
+	}
+	const ninf = math.MinInt64 / 4
+	// D[k][v] = max cost of a k-arc walk from node 0 to v.
+	prev := make([]int64, n)
+	cur := make([]int64, n)
+	// Keep every level for the final min-max formula.
+	levels := make([][]int64, n+1)
+	for i := range prev {
+		prev[i] = ninf
+	}
+	prev[0] = 0
+	levels[0] = append([]int64(nil), prev...)
+	for k := 1; k <= n; k++ {
+		for i := range cur {
+			cur[i] = ninf
+		}
+		for _, a := range arcs {
+			if prev[a.from] == ninf {
+				continue
+			}
+			if c := prev[a.from] + a.l; c > cur[a.to] {
+				cur[a.to] = c
+			}
+		}
+		levels[k] = append([]int64(nil), cur...)
+		prev, cur = cur, prev
+	}
+	dn := levels[n]
+	var best rat.Rat
+	found := false
+	for v := 0; v < n; v++ {
+		if dn[v] == ninf {
+			continue
+		}
+		var vmin rat.Rat
+		vminSet := false
+		for k := 0; k < n; k++ {
+			if levels[k][v] == ninf {
+				continue
+			}
+			m := rat.NewRat(dn[v]-levels[k][v], int64(n-k))
+			if !vminSet || m.Cmp(vmin) < 0 {
+				vmin = m
+				vminSet = true
+			}
+		}
+		if !vminSet {
+			continue
+		}
+		if !found || vmin.Cmp(best) > 0 {
+			best = vmin
+			found = true
+		}
+	}
+	return best, found
+}

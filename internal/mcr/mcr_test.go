@@ -1,0 +1,462 @@
+package mcr
+
+import (
+	"math/rand"
+	"testing"
+
+	"kiter/internal/rat"
+)
+
+func ri(v int64) rat.Rat { return rat.FromInt(v) }
+
+// ring builds a single directed cycle 0→1→…→n−1→0 with the given L and H
+// per arc.
+func ring(n int, l int64, h rat.Rat) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddArc(i, (i+1)%n, l, h)
+	}
+	return g
+}
+
+func TestSolveSingleCycle(t *testing.T) {
+	g := ring(4, 3, ri(2)) // ratio = 12/8 = 3/2
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.String() != "3/2" {
+		t.Errorf("ratio = %s, want 3/2", res.Ratio)
+	}
+	if !res.Certified {
+		t.Error("result not certified")
+	}
+	if len(res.CycleArcs) != 4 {
+		t.Errorf("cycle has %d arcs, want 4", len(res.CycleArcs))
+	}
+}
+
+func TestSolvePicksMaxOfTwoCycles(t *testing.T) {
+	// Two disjoint cycles: ratio 2 and ratio 5.
+	g := New(4)
+	g.AddArc(0, 1, 2, ri(1))
+	g.AddArc(1, 0, 2, ri(1)) // ratio (2+2)/(1+1)=2
+	g.AddArc(2, 3, 7, ri(1))
+	g.AddArc(3, 2, 3, ri(1)) // ratio 10/2 = 5
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.String() != "5" {
+		t.Errorf("ratio = %s, want 5", res.Ratio)
+	}
+	nodes := map[int]bool{}
+	for _, v := range res.CycleNodes {
+		nodes[v] = true
+	}
+	if !nodes[2] || !nodes[3] || nodes[0] || nodes[1] {
+		t.Errorf("critical cycle nodes = %v, want {2,3}", res.CycleNodes)
+	}
+}
+
+func TestSolveSelfLoop(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 0, 9, ri(3)) // ratio 3
+	g.AddArc(0, 1, 1, ri(1))
+	g.AddArc(1, 0, 1, ri(1)) // 2-cycle ratio (1+1)/(1+1)=1
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.String() != "3" {
+		t.Errorf("ratio = %s, want 3", res.Ratio)
+	}
+	if len(res.CycleArcs) != 1 {
+		t.Errorf("expected the self-loop as critical circuit, got %v", res.CycleArcs)
+	}
+}
+
+func TestSolveFractionalH(t *testing.T) {
+	// The kperiodic H weights are fractions like β/(q̃·ĩ); check exact
+	// handling: cycle with H = 1/36 + (−1/72) = 1/72, L = 2 ⇒ ratio 144.
+	g := New(2)
+	g.AddArc(0, 1, 1, rat.NewRat(1, 36))
+	g.AddArc(1, 0, 1, rat.NewRat(-1, 72))
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.String() != "144" {
+		t.Errorf("ratio = %s, want 144", res.Ratio)
+	}
+}
+
+func TestSolveAcyclic(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1, ri(1))
+	g.AddArc(1, 2, 1, ri(1))
+	if _, err := Solve(g, Options{}); err != ErrNoCycle {
+		t.Errorf("err = %v, want ErrNoCycle", err)
+	}
+}
+
+func TestSolveEmptyGraph(t *testing.T) {
+	g := New(0)
+	if _, err := Solve(g, Options{}); err != ErrNoCycle {
+		t.Errorf("err = %v, want ErrNoCycle", err)
+	}
+}
+
+func TestSolveDeadlockNegativeH(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 1, ri(1))
+	g.AddArc(1, 0, 1, ri(-2)) // cycle H = −1 < 0: infeasible
+	_, err := Solve(g, Options{})
+	if _, ok := err.(*DeadlockError); !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}
+
+func TestSolveDeadlockZeroH(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 1, ri(1))
+	g.AddArc(1, 0, 1, ri(-1)) // cycle H = 0 with L = 2 > 0: infeasible
+	_, err := Solve(g, Options{})
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if de.Error() == "" {
+		t.Error("empty deadlock message")
+	}
+}
+
+func TestDeadlockHiddenBehindGoodCycle(t *testing.T) {
+	// A healthy cycle plus an infeasible one: must be reported infeasible
+	// regardless of which policy Howard starts from.
+	g := New(4)
+	g.AddArc(0, 1, 1, ri(1))
+	g.AddArc(1, 0, 1, ri(1)) // healthy, ratio 1
+	g.AddArc(2, 3, 5, ri(1))
+	g.AddArc(3, 2, 5, ri(-1)) // H = 0, L = 10: infeasible
+	_, err := Solve(g, Options{})
+	if _, ok := err.(*DeadlockError); !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}
+
+func TestSolveMixedSignArcH(t *testing.T) {
+	// Negative H on an arc is fine while every circuit's total stays
+	// positive.
+	g := New(3)
+	g.AddArc(0, 1, 2, ri(3))
+	g.AddArc(1, 2, 2, ri(-1))
+	g.AddArc(2, 0, 2, ri(2)) // H(c) = 4, L(c) = 6 ⇒ 3/2
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.String() != "3/2" {
+		t.Errorf("ratio = %s, want 3/2", res.Ratio)
+	}
+}
+
+func TestSolveTrimsTails(t *testing.T) {
+	// Nodes 2,3,4 form a tail/dag attached to a 2-cycle {0,1}.
+	g := New(5)
+	g.AddArc(0, 1, 4, ri(1))
+	g.AddArc(1, 0, 4, ri(1))
+	g.AddArc(2, 0, 100, ri(1)) // tail into the cycle
+	g.AddArc(3, 4, 50, ri(1))  // dag
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.String() != "4" {
+		t.Errorf("ratio = %s, want 4", res.Ratio)
+	}
+}
+
+func TestSolveZeroCostCycle(t *testing.T) {
+	// Cycle with L = 0, H > 0: ratio 0 is valid (a free-running loop).
+	g := ring(3, 0, ri(1))
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ratio.IsZero() {
+		t.Errorf("ratio = %s, want 0", res.Ratio)
+	}
+}
+
+func TestSolveDegenerateZeroZeroCycle(t *testing.T) {
+	// A 0/0 cycle constrains nothing; alongside a real cycle the real one
+	// must win.
+	g := New(4)
+	g.AddArc(0, 1, 0, rat.Rat{})
+	g.AddArc(1, 0, 0, rat.Rat{})
+	g.AddArc(2, 3, 6, ri(2))
+	g.AddArc(3, 2, 6, ri(2))
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio.String() != "3" {
+		t.Errorf("ratio = %s, want 3", res.Ratio)
+	}
+}
+
+func TestCertifyUpperBound(t *testing.T) {
+	g := ring(3, 2, ri(1)) // ratio 2
+	if viol, err := g.Certify(ri(2)); err != nil || viol != nil {
+		t.Errorf("Certify(2) = %v,%v; want nil,nil", viol, err)
+	}
+	viol, err := g.Certify(ri(1))
+	if err != nil || viol == nil {
+		t.Errorf("Certify(1) should find a violating circuit, got %v,%v", viol, err)
+	}
+	if viol != nil {
+		r, err := g.CycleRatio(viol)
+		if err != nil || r.String() != "2" {
+			t.Errorf("violating circuit ratio = %v,%v", r, err)
+		}
+	}
+}
+
+func TestSolveExactMatchesSolve(t *testing.T) {
+	g := New(5)
+	g.AddArc(0, 1, 3, ri(1))
+	g.AddArc(1, 2, 1, ri(2))
+	g.AddArc(2, 0, 2, ri(1))
+	g.AddArc(2, 3, 8, ri(1))
+	g.AddArc(3, 2, 1, ri(1))
+	g.AddArc(3, 4, 2, ri(3))
+	g.AddArc(4, 3, 9, ri(1))
+	a, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SolveExact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ratio.Cmp(b.Ratio) != 0 {
+		t.Errorf("Solve=%s, SolveExact=%s", a.Ratio, b.Ratio)
+	}
+}
+
+func TestKarpSimple(t *testing.T) {
+	g := New(3)
+	g.AddArc(0, 1, 1, ri(1))
+	g.AddArc(1, 0, 5, ri(1)) // mean 3
+	g.AddArc(1, 2, 1, ri(1))
+	g.AddArc(2, 1, 1, ri(1)) // mean 1
+	m, err := MaxCycleMean(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "3" {
+		t.Errorf("mean = %s, want 3", m)
+	}
+}
+
+func TestKarpSelfLoop(t *testing.T) {
+	g := New(1)
+	g.AddArc(0, 0, 7, ri(1))
+	m, err := MaxCycleMean(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "7" {
+		t.Errorf("mean = %s, want 7", m)
+	}
+}
+
+func TestKarpAcyclic(t *testing.T) {
+	g := New(2)
+	g.AddArc(0, 1, 1, ri(1))
+	if _, err := MaxCycleMean(g); err != ErrNoCycle {
+		t.Errorf("err = %v, want ErrNoCycle", err)
+	}
+}
+
+// randomUnitHGraph builds a random strongly-cyclic graph with H = 1 arcs.
+func randomUnitHGraph(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	// Hamiltonian cycle guarantees strong connectivity.
+	for i := 0; i < n; i++ {
+		g.AddArc(i, (i+1)%n, rng.Int63n(20), ri(1))
+	}
+	extra := rng.Intn(2 * n)
+	for i := 0; i < extra; i++ {
+		g.AddArc(rng.Intn(n), rng.Intn(n), rng.Int63n(20), ri(1))
+	}
+	return g
+}
+
+func TestSolveAgreesWithKarpOnUnitH(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(12)
+		g := randomUnitHGraph(rng, n)
+		res, err := Solve(g, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		mean, err := MaxCycleMean(g)
+		if err != nil {
+			t.Fatalf("trial %d: Karp: %v", trial, err)
+		}
+		if res.Ratio.Cmp(mean) != 0 {
+			t.Fatalf("trial %d: Howard=%s, Karp=%s", trial, res.Ratio, mean)
+		}
+		if !res.Certified {
+			t.Fatalf("trial %d: not certified", trial)
+		}
+	}
+}
+
+func TestSolveAgreesWithExactOnRandomRatios(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(10)
+		g := New(n)
+		for i := 0; i < n; i++ {
+			g.AddArc(i, (i+1)%n, rng.Int63n(15), rat.NewRat(1+rng.Int63n(5), 1+rng.Int63n(6)))
+		}
+		for e := rng.Intn(2 * n); e > 0; e-- {
+			g.AddArc(rng.Intn(n), rng.Intn(n), rng.Int63n(15), rat.NewRat(1+rng.Int63n(5), 1+rng.Int63n(6)))
+		}
+		a, err := Solve(g, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Solve: %v", trial, err)
+		}
+		b, err := SolveExact(g)
+		if err != nil {
+			t.Fatalf("trial %d: SolveExact: %v", trial, err)
+		}
+		if a.Ratio.Cmp(b.Ratio) != 0 {
+			t.Fatalf("trial %d: Solve=%s, SolveExact=%s", trial, a.Ratio, b.Ratio)
+		}
+	}
+}
+
+func TestCriticalCycleRatioMatchesReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(8)
+		g := randomUnitHGraph(rng, n)
+		res, err := Solve(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := g.CycleRatio(res.CycleArcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cmp(res.Ratio) != 0 {
+			t.Fatalf("reported %s but circuit has %s", res.Ratio, r)
+		}
+		// Circuit must be closed and arcs consecutive.
+		for i, ai := range res.CycleArcs {
+			next := res.CycleArcs[(i+1)%len(res.CycleArcs)]
+			if g.Arc(ai).To != g.Arc(next).From {
+				t.Fatal("critical circuit arcs not consecutive")
+			}
+		}
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	g := New(6)
+	g.AddArc(0, 1, 1, ri(1))
+	g.AddArc(1, 2, 1, ri(1))
+	g.AddArc(2, 0, 1, ri(1)) // SCC {0,1,2}
+	g.AddArc(2, 3, 1, ri(1))
+	g.AddArc(3, 4, 1, ri(1))
+	g.AddArc(4, 3, 1, ri(1)) // SCC {3,4}
+	comps := g.SCCs()
+	if len(comps) != 4 { // {0,1,2}, {3,4}, {5}, and... count: nodes 5 alone
+		// components: {0,1,2}, {3,4}, {5} = 3 components
+		t.Logf("components: %v", comps)
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("SCC sizes = %v, want one of each {3,2,1}", sizes)
+	}
+}
+
+func TestSkipCertify(t *testing.T) {
+	g := ring(3, 2, ri(1))
+	res, err := Solve(g, Options{SkipCertify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certified {
+		t.Error("SkipCertify result claims certification")
+	}
+	if res.Ratio.String() != "2" {
+		t.Errorf("ratio = %s, want 2", res.Ratio)
+	}
+}
+
+func TestCycleRatioInfeasible(t *testing.T) {
+	g := New(2)
+	a1 := g.AddArc(0, 1, 1, ri(1))
+	a2 := g.AddArc(1, 0, 1, ri(-1))
+	if _, err := g.CycleRatio([]int{a1, a2}); err == nil {
+		t.Error("expected infeasible-cycle error")
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := New(3)
+	id := g.AddArc(0, 2, 5, ri(7))
+	if g.NumNodes() != 3 || g.NumArcs() != 1 {
+		t.Error("wrong counts")
+	}
+	a := g.Arc(id)
+	if a.From != 0 || a.To != 2 || a.L != 5 || a.H.String() != "7" {
+		t.Errorf("arc = %+v", a)
+	}
+	if len(g.Out(0)) != 1 || len(g.Out(1)) != 0 {
+		t.Error("adjacency wrong")
+	}
+}
+
+func TestHugeRatioValues(t *testing.T) {
+	// Denominators of the order of Echo's q̃·ĩ (≈ 10⁹): exactness must
+	// survive even though floats lose precision.
+	g := New(2)
+	g.AddArc(0, 1, 1, rat.NewRat(1, 802971540))
+	g.AddArc(1, 0, 1, rat.NewRat(1, 802971541))
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rat.FromInt(2).Div(rat.NewRat(1, 802971540).Add(rat.NewRat(1, 802971541)))
+	if res.Ratio.Cmp(want) != 0 {
+		t.Errorf("ratio = %s, want %s", res.Ratio, want)
+	}
+}
+
+func TestNearTieCyclesExactness(t *testing.T) {
+	// Two cycles whose ratios differ by ~1e-18 — indistinguishable in
+	// float64; certification must pick the truly larger one.
+	g := New(4)
+	g.AddArc(0, 1, 1_000_000_000, ri(1))
+	g.AddArc(1, 0, 1_000_000_000, ri(1)) // ratio 10⁹
+	g.AddArc(2, 3, 1_000_000_001, ri(1))
+	g.AddArc(3, 2, 1_000_000_000, ri(1)) // ratio 10⁹ + ½
+	res, err := Solve(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rat.NewRat(2_000_000_001, 2)
+	if res.Ratio.Cmp(want) != 0 {
+		t.Errorf("ratio = %s, want %s", res.Ratio, want)
+	}
+}

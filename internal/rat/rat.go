@@ -1,0 +1,335 @@
+// Package rat provides exact arithmetic helpers used throughout the
+// throughput analyses: overflow-checked int64 gcd/lcm, rounding to a
+// multiple of a step (the ⌈x⌉γ and ⌊x⌋γ operators of the paper), and a
+// small exact rational type backed by int64 with automatic promotion of
+// intermediate results through math/big.
+//
+// The paper's quantities (repetition vectors, token counts, the H weights
+// β/(q̃·ĩ) of the bi-valued graph) overflow 64-bit arithmetic on the larger
+// industrial graphs (Echo has Σqt ≈ 8·10⁸), so every helper either detects
+// overflow and reports it, or routes through math/big.
+package rat
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Gcd returns the non-negative greatest common divisor of a and b.
+// Gcd(0, 0) is 0 by convention.
+func Gcd(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// GcdAll returns the gcd of all values, 0 for an empty slice.
+func GcdAll(vs ...int64) int64 {
+	var g int64
+	for _, v := range vs {
+		g = Gcd(g, v)
+		if g == 1 {
+			return 1
+		}
+	}
+	return g
+}
+
+// Lcm returns the least common multiple of a and b and reports whether the
+// computation stayed within int64. Lcm(0, x) is 0.
+func Lcm(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	g := Gcd(a, b)
+	q := a / g
+	return MulCheck(q, b)
+}
+
+// LcmAll folds Lcm over all values (1 for an empty slice), reporting
+// overflow.
+func LcmAll(vs ...int64) (int64, bool) {
+	var acc int64 = 1
+	for _, v := range vs {
+		var ok bool
+		acc, ok = Lcm(acc, v)
+		if !ok {
+			return 0, false
+		}
+	}
+	return acc, true
+}
+
+// MulCheck multiplies two int64 values, reporting whether the product fits.
+func MulCheck(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// AddCheck adds two int64 values, reporting whether the sum fits.
+func AddCheck(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// FloorDiv returns ⌊a/b⌋ for b > 0, correct for negative a.
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// CeilDiv returns ⌈a/b⌉ for b > 0, correct for negative a.
+func CeilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) == (b < 0) {
+		q++
+	}
+	return q
+}
+
+// FloorTo returns ⌊a⌋γ = ⌊a/γ⌋·γ, the largest multiple of γ that is ≤ a.
+// γ must be positive.
+func FloorTo(a, gamma int64) int64 {
+	return FloorDiv(a, gamma) * gamma
+}
+
+// CeilTo returns ⌈a⌉γ = ⌈a/γ⌉·γ, the smallest multiple of γ that is ≥ a.
+// γ must be positive.
+func CeilTo(a, gamma int64) int64 {
+	return CeilDiv(a, gamma) * gamma
+}
+
+// Rat is an exact rational number. The zero value is 0. Rat values are
+// immutable: all operations return new values, so Rats may be freely copied
+// and shared. Internally a *big.Rat is used; construction from int64 pairs
+// is provided for convenience.
+type Rat struct {
+	r *big.Rat // nil means exact zero
+}
+
+// NewRat returns num/den as an exact rational. den must be non-zero.
+func NewRat(num, den int64) Rat {
+	if den == 0 {
+		panic("rat: zero denominator")
+	}
+	if num == 0 {
+		return Rat{}
+	}
+	return Rat{r: big.NewRat(num, den)}
+}
+
+// FromInt returns v as an exact rational.
+func FromInt(v int64) Rat { return NewRat(v, 1) }
+
+// FromBig returns a Rat wrapping a copy of r.
+func FromBig(r *big.Rat) Rat {
+	if r == nil || r.Sign() == 0 {
+		return Rat{}
+	}
+	return Rat{r: new(big.Rat).Set(r)}
+}
+
+// FromBigInts returns num/den as an exact rational. den must be non-zero.
+func FromBigInts(num, den *big.Int) Rat {
+	if den.Sign() == 0 {
+		panic("rat: zero denominator")
+	}
+	if num.Sign() == 0 {
+		return Rat{}
+	}
+	r := new(big.Rat).SetFrac(new(big.Int).Set(num), new(big.Int).Set(den))
+	return Rat{r: r}
+}
+
+// Big returns a copy of x as a *big.Rat.
+func (x Rat) Big() *big.Rat {
+	if x.r == nil {
+		return new(big.Rat)
+	}
+	return new(big.Rat).Set(x.r)
+}
+
+// IsZero reports whether x is exactly zero.
+func (x Rat) IsZero() bool { return x.r == nil || x.r.Sign() == 0 }
+
+// Sign returns -1, 0 or +1 according to the sign of x.
+func (x Rat) Sign() int {
+	if x.r == nil {
+		return 0
+	}
+	return x.r.Sign()
+}
+
+// Cmp compares x and y, returning -1, 0 or +1.
+func (x Rat) Cmp(y Rat) int {
+	if x.r == nil && y.r == nil {
+		return 0
+	}
+	if x.r == nil {
+		return -y.r.Sign()
+	}
+	if y.r == nil {
+		return x.r.Sign()
+	}
+	return x.r.Cmp(y.r)
+}
+
+// Add returns x + y.
+func (x Rat) Add(y Rat) Rat {
+	if x.r == nil {
+		return y
+	}
+	if y.r == nil {
+		return x
+	}
+	return Rat{r: new(big.Rat).Add(x.r, y.r)}
+}
+
+// Sub returns x - y.
+func (x Rat) Sub(y Rat) Rat {
+	if y.r == nil {
+		return x
+	}
+	if x.r == nil {
+		return Rat{r: new(big.Rat).Neg(y.r)}
+	}
+	d := new(big.Rat).Sub(x.r, y.r)
+	if d.Sign() == 0 {
+		return Rat{}
+	}
+	return Rat{r: d}
+}
+
+// Mul returns x · y.
+func (x Rat) Mul(y Rat) Rat {
+	if x.r == nil || y.r == nil {
+		return Rat{}
+	}
+	return Rat{r: new(big.Rat).Mul(x.r, y.r)}
+}
+
+// Div returns x / y. y must be non-zero.
+func (x Rat) Div(y Rat) Rat {
+	if y.r == nil {
+		panic("rat: division by zero")
+	}
+	if x.r == nil {
+		return Rat{}
+	}
+	return Rat{r: new(big.Rat).Quo(x.r, y.r)}
+}
+
+// Inv returns 1/x. x must be non-zero.
+func (x Rat) Inv() Rat {
+	if x.r == nil {
+		panic("rat: inverse of zero")
+	}
+	return Rat{r: new(big.Rat).Inv(x.r)}
+}
+
+// Neg returns -x.
+func (x Rat) Neg() Rat {
+	if x.r == nil {
+		return x
+	}
+	return Rat{r: new(big.Rat).Neg(x.r)}
+}
+
+// Float returns the nearest float64 to x.
+func (x Rat) Float() float64 {
+	if x.r == nil {
+		return 0
+	}
+	f, _ := x.r.Float64()
+	return f
+}
+
+// Num returns a copy of the numerator of x in lowest terms.
+func (x Rat) Num() *big.Int {
+	if x.r == nil {
+		return new(big.Int)
+	}
+	return new(big.Int).Set(x.r.Num())
+}
+
+// Den returns a copy of the denominator of x in lowest terms (always > 0).
+func (x Rat) Den() *big.Int {
+	if x.r == nil {
+		return big.NewInt(1)
+	}
+	return new(big.Int).Set(x.r.Denom())
+}
+
+// String formats x as "num/den", or "num" when the denominator is 1.
+func (x Rat) String() string {
+	if x.r == nil {
+		return "0"
+	}
+	if x.r.IsInt() {
+		return x.r.Num().String()
+	}
+	return x.r.RatString()
+}
+
+// Format renders x as a decimal with the given number of fractional digits.
+func (x Rat) Format(digits int) string {
+	if x.r == nil {
+		return "0"
+	}
+	return x.r.FloatString(digits)
+}
+
+// Int64 returns x as an int64 if x is an integer fitting in 64 bits.
+func (x Rat) Int64() (int64, bool) {
+	if x.r == nil {
+		return 0, true
+	}
+	if !x.r.IsInt() || !x.r.Num().IsInt64() {
+		return 0, false
+	}
+	return x.r.Num().Int64(), true
+}
+
+// Equal reports whether x and y are the same rational.
+func (x Rat) Equal(y Rat) bool { return x.Cmp(y) == 0 }
+
+// SumInt64 adds a slice of int64 and reports overflow.
+func SumInt64(vs []int64) (int64, bool) {
+	var s int64
+	for _, v := range vs {
+		var ok bool
+		s, ok = AddCheck(s, v)
+		if !ok {
+			return 0, false
+		}
+	}
+	return s, true
+}
+
+// ErrOverflow reports that a quantity left the int64 range.
+type ErrOverflow struct {
+	Op string
+}
+
+func (e *ErrOverflow) Error() string {
+	return fmt.Sprintf("rat: int64 overflow in %s", e.Op)
+}

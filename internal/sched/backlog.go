@@ -1,0 +1,78 @@
+package sched
+
+import (
+	"sort"
+
+	"kiter/internal/csdf"
+	"kiter/internal/kperiodic"
+	"kiter/internal/rat"
+)
+
+// BufferBacklog replays a K-periodic schedule over the given number of
+// graph iterations and returns, per buffer, the peak storage the schedule
+// reserves under the back-pressure semantics of the reverse-buffer
+// encoding: a producer claims inb(p) space when phase tp starts and a
+// consumer releases outb(p′) space when phase t′p′ completes. Initial
+// tokens occupy space from the start.
+//
+// Feeding the peaks back as capacities therefore keeps this very schedule
+// feasible, which is how the sizing package derives throughput-safe buffer
+// bounds. At equal time instants releases are applied before claims,
+// mirroring the production-before-consumption rule of the feasibility
+// checker.
+func BufferBacklog(g *csdf.Graph, s *kperiodic.Schedule, iterations int64) []int64 {
+	type event struct {
+		time   rat.Rat
+		claim  bool
+		buf    csdf.BufferID
+		amount int64
+	}
+	var events []event
+	for _, b := range g.Buffers() {
+		srcPhases := g.Task(b.Src).Phases()
+		for n := int64(1); n <= iterations*s.Q[b.Src]; n++ {
+			for p := 1; p <= srcPhases; p++ {
+				if b.In[p-1] == 0 {
+					continue
+				}
+				start := s.StartOf(b.Src, p, n)
+				events = append(events, event{time: start, claim: true, buf: b.ID, amount: b.In[p-1]})
+			}
+		}
+		dstPhases := g.Task(b.Dst).Phases()
+		for n := int64(1); n <= iterations*s.Q[b.Dst]; n++ {
+			for p := 1; p <= dstPhases; p++ {
+				if b.Out[p-1] == 0 {
+					continue
+				}
+				end := s.StartOf(b.Dst, p, n).Add(rat.FromInt(g.Task(b.Dst).Durations[p-1]))
+				events = append(events, event{time: end, claim: false, buf: b.ID, amount: b.Out[p-1]})
+			}
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		c := events[i].time.Cmp(events[j].time)
+		if c != 0 {
+			return c < 0
+		}
+		// Releases before claims at equal instants.
+		return !events[i].claim && events[j].claim
+	})
+	occupancy := make([]int64, g.NumBuffers())
+	peak := make([]int64, g.NumBuffers())
+	for i, b := range g.Buffers() {
+		occupancy[i] = b.Initial
+		peak[i] = b.Initial
+	}
+	for _, ev := range events {
+		if ev.claim {
+			occupancy[ev.buf] += ev.amount
+			if occupancy[ev.buf] > peak[ev.buf] {
+				peak[ev.buf] = occupancy[ev.buf]
+			}
+		} else {
+			occupancy[ev.buf] -= ev.amount
+		}
+	}
+	return peak
+}

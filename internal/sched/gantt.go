@@ -1,0 +1,175 @@
+// Package sched renders and measures concrete schedules: ASCII Gantt
+// charts of self-timed traces (Figure 3) and K-periodic schedules
+// (Figure 4), first-iteration latency, and buffer-backlog measurement used
+// by the buffer-sizing extension.
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"kiter/internal/csdf"
+	"kiter/internal/kperiodic"
+	"kiter/internal/rat"
+	"kiter/internal/symbexec"
+)
+
+// Box is one execution drawn on a Gantt chart.
+type Box struct {
+	Row      int
+	Label    string
+	Start    float64
+	Duration float64
+}
+
+// Gantt is a renderable schedule prefix.
+type Gantt struct {
+	Title    string
+	RowNames []string
+	Boxes    []Box
+}
+
+// FromTrace builds a Gantt chart from a self-timed execution trace.
+func FromTrace(g *csdf.Graph, trace []symbexec.Firing, title string) *Gantt {
+	gt := &Gantt{Title: title}
+	for _, t := range g.Tasks() {
+		gt.RowNames = append(gt.RowNames, taskLabel(t))
+	}
+	for _, f := range trace {
+		gt.Boxes = append(gt.Boxes, Box{
+			Row:      int(f.Task),
+			Label:    fmt.Sprintf("%s%d", g.Task(f.Task).Name, f.Phase),
+			Start:    float64(f.Start),
+			Duration: float64(f.Duration),
+		})
+	}
+	return gt
+}
+
+// FromSchedule builds a Gantt chart from the first `iterations` graph
+// iterations of a K-periodic schedule.
+func FromSchedule(g *csdf.Graph, s *kperiodic.Schedule, iterations int64, title string) *Gantt {
+	gt := &Gantt{Title: title}
+	for _, t := range g.Tasks() {
+		gt.RowNames = append(gt.RowNames, taskLabel(t))
+	}
+	for ti := 0; ti < g.NumTasks(); ti++ {
+		task := g.Task(csdf.TaskID(ti))
+		total := iterations * s.Q[ti]
+		for n := int64(1); n <= total; n++ {
+			for p := 1; p <= task.Phases(); p++ {
+				start := s.StartOf(csdf.TaskID(ti), p, n)
+				gt.Boxes = append(gt.Boxes, Box{
+					Row:      ti,
+					Label:    fmt.Sprintf("%s%d", task.Name, p),
+					Start:    start.Float(),
+					Duration: float64(task.Durations[p-1]),
+				})
+			}
+		}
+	}
+	return gt
+}
+
+func taskLabel(t csdf.Task) string {
+	if t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("t%d", t.ID)
+}
+
+// Render draws the chart with the given total character width for the
+// timeline. Boxes are drawn with their label (truncated) followed by '='
+// fill; '.' marks idle time.
+func (gt *Gantt) Render(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	var maxEnd float64
+	for _, b := range gt.Boxes {
+		if e := b.Start + b.Duration; e > maxEnd {
+			maxEnd = e
+		}
+	}
+	if maxEnd <= 0 {
+		maxEnd = 1
+	}
+	scale := float64(width) / maxEnd
+	nameW := 0
+	for _, n := range gt.RowNames {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	rows := make([][]byte, len(gt.RowNames))
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, b := range gt.Boxes {
+		if b.Row < 0 || b.Row >= len(rows) {
+			continue
+		}
+		c0 := int(b.Start * scale)
+		c1 := int((b.Start + b.Duration) * scale)
+		if c1 <= c0 {
+			c1 = c0 + 1
+		}
+		if c0 >= width {
+			continue
+		}
+		if c1 > width {
+			c1 = width
+		}
+		seg := rows[b.Row][c0:c1]
+		for i := range seg {
+			if i < len(b.Label) {
+				seg[i] = b.Label[i]
+			} else {
+				seg[i] = '='
+			}
+		}
+	}
+	var sb strings.Builder
+	if gt.Title != "" {
+		fmt.Fprintf(&sb, "%s (0 … %.1f time units)\n", gt.Title, maxEnd)
+	}
+	// Time ruler every width/8 columns.
+	ruler := make([]byte, width)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	step := width / 8
+	if step < 1 {
+		step = 1
+	}
+	for c := 0; c < width; c += step {
+		mark := fmt.Sprintf("|%.0f", float64(c)/scale)
+		for i := 0; i < len(mark) && c+i < width; i++ {
+			ruler[c+i] = mark[i]
+		}
+	}
+	fmt.Fprintf(&sb, "%*s %s\n", nameW, "", string(ruler))
+	for i, name := range gt.RowNames {
+		fmt.Fprintf(&sb, "%*s %s\n", nameW, name, string(rows[i]))
+	}
+	return sb.String()
+}
+
+// IterationLatency returns the makespan of the first graph iteration under
+// a K-periodic schedule: the latest completion time over every task's
+// first qt executions (the earliest start is 0 by construction).
+func IterationLatency(g *csdf.Graph, s *kperiodic.Schedule) rat.Rat {
+	var latest rat.Rat
+	for ti := 0; ti < g.NumTasks(); ti++ {
+		task := g.Task(csdf.TaskID(ti))
+		for n := int64(1); n <= s.Q[ti]; n++ {
+			for p := 1; p <= task.Phases(); p++ {
+				end := s.StartOf(csdf.TaskID(ti), p, n).Add(rat.FromInt(task.Durations[p-1]))
+				if end.Cmp(latest) > 0 {
+					latest = end
+				}
+			}
+		}
+	}
+	return latest
+}

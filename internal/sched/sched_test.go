@@ -1,0 +1,121 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+	"kiter/internal/sched"
+	"kiter/internal/symbexec"
+)
+
+func TestGanttFromTraceFigure3(t *testing.T) {
+	g := gen.Figure2()
+	trace, dead, err := symbexec.Simulate(g, 26)
+	if err != nil || dead {
+		t.Fatalf("simulate: err=%v dead=%v", err, dead)
+	}
+	gt := sched.FromTrace(g, trace, "ASAP schedule (Figure 3)")
+	out := gt.Render(80)
+	for _, frag := range []string{"A", "B", "C", "D", "Figure 3"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 6 { // title+ruler+4 rows
+		t.Errorf("unexpected row count:\n%s", out)
+	}
+}
+
+func TestGanttFromScheduleFigure4(t *testing.T) {
+	g := gen.Figure2()
+	res, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := kperiodic.ScheduleK(g, res.K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := sched.FromSchedule(g, s, 2, "K-periodic schedule (Figure 4)")
+	out := gt.Render(100)
+	if !strings.Contains(out, "A1") && !strings.Contains(out, "A") {
+		t.Errorf("render missing task boxes:\n%s", out)
+	}
+}
+
+func TestGanttRenderBounds(t *testing.T) {
+	gt := &sched.Gantt{
+		RowNames: []string{"x"},
+		Boxes:    []sched.Box{{Row: 0, Label: "x1", Start: 0, Duration: 5}},
+	}
+	out := gt.Render(5) // clamped to minimum width
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	// A box beyond the range or an empty chart must not panic.
+	empty := &sched.Gantt{RowNames: []string{"y"}}
+	if empty.Render(40) == "" {
+		t.Fatal("empty chart render failed")
+	}
+	bad := &sched.Gantt{RowNames: []string{"z"}, Boxes: []sched.Box{{Row: 7, Label: "?", Start: 1, Duration: 1}}}
+	_ = bad.Render(40)
+}
+
+func TestIterationLatency(t *testing.T) {
+	g := gen.TwoTaskChain(2, 3)
+	res, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := kperiodic.ScheduleK(g, res.K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := sched.IterationLatency(g, s)
+	// A(2) then B(3): first iteration completes no earlier than 5.
+	if lat.Float() < 5 {
+		t.Errorf("latency = %s, want ≥ 5", lat)
+	}
+}
+
+func TestBufferBacklog(t *testing.T) {
+	g := gen.Figure2()
+	res, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := kperiodic.ScheduleK(g, res.K, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := sched.BufferBacklog(g, s, 3)
+	if len(peaks) != g.NumBuffers() {
+		t.Fatalf("got %d peaks for %d buffers", len(peaks), g.NumBuffers())
+	}
+	for i, b := range g.Buffers() {
+		if peaks[i] < b.Initial {
+			t.Errorf("buffer %s: peak %d below initial marking %d", b.Name, peaks[i], b.Initial)
+		}
+	}
+	// Feeding the peaks back as capacities must keep the graph live at
+	// the same throughput (the schedule itself fits in them).
+	sized := g.Clone()
+	for i := range peaks {
+		sized.SetCapacity(g.Buffer(g.Buffers()[i].ID).ID, peaks[i])
+	}
+	bounded, err := sized.WithCapacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := kperiodic.KIter(bounded, kperiodic.Options{})
+	if err != nil {
+		t.Fatalf("sized graph not schedulable: %v", err)
+	}
+	// The measured schedule itself fits in the measured peaks, so the
+	// bounded graph reaches exactly the unbounded optimum.
+	if bres.Period.Cmp(res.Period) != 0 {
+		t.Errorf("bounded Ω = %s, want %s", bres.Period, res.Period)
+	}
+}

@@ -1,0 +1,160 @@
+package sizing_test
+
+import (
+	"testing"
+
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+	"kiter/internal/rat"
+	"kiter/internal/sizing"
+)
+
+func TestTradeOffMonotone(t *testing.T) {
+	g := gen.Figure2()
+	points, err := sizing.TradeOff(g, []int64{1, 2, 3, 4}, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Deadlocked {
+			if !points[i-1].Deadlocked {
+				t.Errorf("scale %d deadlocks though smaller scale %d does not",
+					points[i].Scale, points[i-1].Scale)
+			}
+			continue
+		}
+		if points[i-1].Deadlocked {
+			continue
+		}
+		if points[i].Period.Cmp(points[i-1].Period) > 0 {
+			t.Errorf("period grew with capacity: scale %d → %s, scale %d → %s",
+				points[i-1].Scale, points[i-1].Period, points[i].Scale, points[i].Period)
+		}
+		if points[i].TotalCapacity <= points[i-1].TotalCapacity {
+			t.Error("total capacity not increasing with scale")
+		}
+	}
+}
+
+func TestTradeOffConvergesToUnbounded(t *testing.T) {
+	g := gen.MultiRateCycle()
+	unbounded, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sizing.TradeOff(g, []int64{1, 2, 4, 8, 16}, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := points[len(points)-1]
+	if last.Deadlocked {
+		t.Fatal("largest scale deadlocked")
+	}
+	if last.Period.Cmp(unbounded.Period) != 0 {
+		t.Errorf("large-capacity period %s ≠ unbounded optimum %s",
+			last.Period, unbounded.Period)
+	}
+}
+
+func TestOptimalCapacitiesPreserveThroughput(t *testing.T) {
+	graphs := []*csdf.Graph{gen.Figure2(), gen.MultiRateCycle(), gen.CyclicCSDF()}
+	for _, g := range graphs {
+		caps, period, err := sizing.OptimalCapacities(g, kperiodic.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		bounded, err := sizing.ApplyCapacities(g, caps)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		res, err := kperiodic.KIter(bounded, kperiodic.Options{})
+		if err != nil {
+			t.Fatalf("%s: bounded graph unschedulable: %v", g.Name, err)
+		}
+		if res.Period.Cmp(period) != 0 {
+			t.Errorf("%s: bounded Ω = %s, want unbounded optimum %s",
+				g.Name, res.Period, period)
+		}
+	}
+}
+
+func TestOptimalCapacitiesRandomGraphs(t *testing.T) {
+	for seed := int64(200); seed < 212; seed++ {
+		g, err := gen.RandomSmall(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps, period, err := sizing.OptimalCapacities(g, kperiodic.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bounded, err := sizing.ApplyCapacities(g, caps)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := kperiodic.KIter(bounded, kperiodic.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: bounded unschedulable: %v", seed, err)
+		}
+		if res.Period.Cmp(period) != 0 {
+			t.Errorf("seed %d: bounded Ω = %s ≠ %s", seed, res.Period, period)
+		}
+	}
+}
+
+func TestMinUniformScale(t *testing.T) {
+	g := gen.MultiRateCycle()
+	unbounded, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unbounded optimum must be reachable at some finite scale.
+	s, err := sizing.MinUniformScale(g, unbounded.Period, 64, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1 || s > 64 {
+		t.Fatalf("scale = %d out of range", s)
+	}
+	// Scale s meets the target; if s > 1, scale s−1 must not.
+	bounded, err := g.ScaleCapacities(s).WithCapacities()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := kperiodic.KIter(bounded, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period.Cmp(unbounded.Period) > 0 {
+		t.Errorf("scale %d period %s misses target %s", s, res.Period, unbounded.Period)
+	}
+	if s > 1 {
+		smaller, err := g.ScaleCapacities(s - 1).WithCapacities()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := kperiodic.KIter(smaller, kperiodic.Options{})
+		if err == nil && sres.Period.Cmp(unbounded.Period) <= 0 {
+			t.Errorf("scale %d already meets the target; %d is not minimal", s-1, s)
+		}
+	}
+}
+
+func TestMinUniformScaleUnreachable(t *testing.T) {
+	g := gen.MultiRateCycle()
+	// Period 0 cannot be reached with positive durations.
+	if _, err := sizing.MinUniformScale(g, rat.Rat{}, 8, kperiodic.Options{}); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}
+
+func TestApplyCapacitiesLengthCheck(t *testing.T) {
+	g := gen.Figure2()
+	if _, err := sizing.ApplyCapacities(g, []int64{1, 2}); err == nil {
+		t.Error("wrong capacity count accepted")
+	}
+}

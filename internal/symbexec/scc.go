@@ -1,0 +1,170 @@
+package symbexec
+
+import (
+	"fmt"
+
+	"kiter/internal/csdf"
+	"kiter/internal/rat"
+)
+
+// taskSCCs returns the strongly connected components of the task digraph
+// induced by the buffers (Tarjan, iterative), each as a list of TaskIDs.
+func taskSCCs(g *csdf.Graph) [][]csdf.TaskID {
+	n := g.NumTasks()
+	adj := make([][]int, n)
+	for _, b := range g.Buffers() {
+		if b.Src != b.Dst {
+			adj[b.Src] = append(adj[b.Src], int(b.Dst))
+		}
+	}
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack []int
+		comps [][]csdf.TaskID
+		cnt   int
+	)
+	type frame struct{ v, ai int }
+	var frames []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ai == 0 {
+				index[v] = cnt
+				low[v] = cnt
+				cnt++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ai < len(adj[v]) {
+				w := adj[v][f.ai]
+				f.ai++
+				if index[w] == unvisited {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []csdf.TaskID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, csdf.TaskID(w))
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// subgraph extracts the induced subgraph on the given tasks (with all
+// buffers whose both endpoints belong to the set), returning it together
+// with the mapping from new to old task IDs.
+func subgraph(g *csdf.Graph, tasks []csdf.TaskID) (*csdf.Graph, []csdf.TaskID) {
+	sub := csdf.NewGraph(fmt.Sprintf("%s/scc", g.Name))
+	oldToNew := make(map[csdf.TaskID]csdf.TaskID, len(tasks))
+	newToOld := make([]csdf.TaskID, 0, len(tasks))
+	for _, t := range tasks {
+		task := g.Task(t)
+		id := sub.AddTask(task.Name, task.Durations)
+		oldToNew[t] = id
+		newToOld = append(newToOld, t)
+	}
+	for _, b := range g.Buffers() {
+		src, okS := oldToNew[b.Src]
+		dst, okD := oldToNew[b.Dst]
+		if okS && okD {
+			sub.AddBuffer(b.Name, src, dst, b.In, b.Out, b.Initial)
+		}
+	}
+	return sub, newToOld
+}
+
+// runDecomposed evaluates a graph with several SCCs: buffers between
+// components never throttle self-timed execution in the long run
+// (unbounded FIFOs only accumulate), so the graph's normalized period is
+// the maximum over the components' isolated normalized periods. Each
+// component period is rescaled from the component-local repetition vector
+// to the global one.
+func runDecomposed(g *csdf.Graph, q []int64, comps [][]csdf.TaskID, opt Options) (*Result, error) {
+	best := &Result{}
+	haveBest := false
+	for _, comp := range comps {
+		var compRes *Result
+		sub, newToOld := subgraph(g, comp)
+		if sub.NumBuffers() == 0 {
+			// A lone task without self-buffers: it fires back-to-back, so
+			// its normalized period is q_t · Σd(t).
+			t := g.Task(newToOld[0])
+			period := rat.FromInt(q[newToOld[0]] * t.TotalDuration())
+			compRes = &Result{Period: period}
+			if period.Sign() > 0 {
+				compRes.Throughput = period.Inv()
+			}
+		} else {
+			subOpt := opt
+			subOpt.Reference = 0
+			subOpt.TraceHorizon = 0
+			r, err := runRecurrence(sub, subOpt)
+			if err != nil {
+				return nil, err
+			}
+			// Rescale: global q restricted to the component is an integer
+			// multiple λ of the component's own minimal q′.
+			qSub, err := sub.RepetitionVector()
+			if err != nil {
+				return nil, err
+			}
+			lambda := q[newToOld[0]] / qSub[0]
+			r.Period = r.Period.Mul(rat.FromInt(lambda))
+			if r.Period.Sign() > 0 {
+				r.Throughput = r.Period.Inv()
+			}
+			compRes = r
+		}
+		if !haveBest || compRes.Period.Cmp(best.Period) > 0 {
+			events, states := best.Events, best.StatesStored
+			best = compRes
+			best.Events += events
+			best.StatesStored += states
+			haveBest = true
+		} else {
+			best.Events += compRes.Events
+			best.StatesStored += compRes.StatesStored
+		}
+	}
+	if !haveBest {
+		return nil, fmt.Errorf("symbexec: graph has no tasks")
+	}
+	return best, nil
+}

@@ -1,0 +1,60 @@
+package symbexec
+
+import (
+	"kiter/internal/csdf"
+)
+
+// Simulate runs the self-timed (as soon as possible) execution of the
+// whole graph for a finite time horizon and returns the firings that
+// started before it, in start-time order. This is the schedule prefix
+// drawn in Figure 3 of the paper. The second return value reports whether
+// the execution deadlocked before the horizon.
+func Simulate(g *csdf.Graph, horizon int64) ([]Firing, bool, error) {
+	if err := g.Validate(); err != nil {
+		return nil, false, err
+	}
+	e := &engine{
+		g:        g,
+		opt:      Options{TraceHorizon: horizon},
+		tokens:   make([]int64, g.NumBuffers()),
+		tasks:    make([]taskState, g.NumTasks()),
+		inBufs:   make([][]csdf.BufferID, g.NumTasks()),
+		outBufs:  make([][]csdf.BufferID, g.NumTasks()),
+		maxEv:    defaultMaxEvents,
+		maxState: defaultMaxStates,
+	}
+	for i := 0; i < g.NumBuffers(); i++ {
+		b := g.Buffer(csdf.BufferID(i))
+		e.tokens[i] = b.Initial
+		e.outBufs[b.Src] = append(e.outBufs[b.Src], csdf.BufferID(i))
+		e.inBufs[b.Dst] = append(e.inBufs[b.Dst], csdf.BufferID(i))
+	}
+	for e.now < horizon {
+		for e.startAll() {
+		}
+		if e.events > e.maxEv {
+			return e.trace, false, ErrBudget
+		}
+		dt := int64(-1)
+		for i := range e.tasks {
+			if e.tasks[i].busy && (dt < 0 || e.tasks[i].remaining < dt) {
+				dt = e.tasks[i].remaining
+			}
+		}
+		if dt < 0 {
+			return e.trace, true, nil
+		}
+		e.now += dt
+		for i := range e.tasks {
+			t := &e.tasks[i]
+			if !t.busy {
+				continue
+			}
+			t.remaining -= dt
+			if t.remaining == 0 {
+				e.complete(csdf.TaskID(i))
+			}
+		}
+	}
+	return e.trace, false, nil
+}

@@ -1,0 +1,360 @@
+package symbexec_test
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+	"kiter/internal/symbexec"
+)
+
+func mustRun(t *testing.T, g *csdf.Graph) *symbexec.Result {
+	t.Helper()
+	res, err := symbexec.Run(g, symbexec.Options{})
+	if err != nil {
+		t.Fatalf("Run(%s): %v", g.Name, err)
+	}
+	return res
+}
+
+func TestHSDFRingOracle(t *testing.T) {
+	cases := []struct {
+		n      int
+		durs   []int64
+		tokens int64
+		want   string
+	}{
+		{4, []int64{1}, 2, "2"},
+		{4, []int64{1}, 1, "4"},
+		{3, []int64{2, 3, 1}, 1, "6"},
+		{3, []int64{2, 3, 1}, 2, "3"},
+		{5, []int64{1, 1}, 3, "5/3"},
+		{2, []int64{10, 1}, 4, "10"},
+	}
+	for _, c := range cases {
+		g := gen.HSDFRing(c.n, c.durs, c.tokens)
+		res := mustRun(t, g)
+		if res.Period.String() != c.want {
+			t.Errorf("ring(n=%d,d=%v,m=%d): Ω = %s, want %s",
+				c.n, c.durs, c.tokens, res.Period, c.want)
+		}
+	}
+}
+
+func TestFigure2MatchesKIter(t *testing.T) {
+	g := gen.Figure2()
+	sym := mustRun(t, g)
+	if sym.Period.String() != "13" {
+		t.Errorf("symbolic Ω = %s, want 13", sym.Period)
+	}
+	ki, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Period.Cmp(ki.Period) != 0 {
+		t.Errorf("symbolic Ω = %s ≠ K-Iter Ω = %s", sym.Period, ki.Period)
+	}
+}
+
+func TestChainDecomposition(t *testing.T) {
+	// Acyclic graph: self-timed tokens accumulate without bound, so the
+	// SCC decomposition must kick in. Slowest task dominates.
+	g := gen.TwoTaskChain(2, 3)
+	res := mustRun(t, g)
+	if res.Period.String() != "3" {
+		t.Errorf("Ω = %s, want 3", res.Period)
+	}
+}
+
+func TestMultiRateChainDecomposition(t *testing.T) {
+	// src →(2/3) dst: q = [3,2]; normalized periods 3·1 and 2·5 = 10.
+	g := csdf.NewGraph("mrchain")
+	a := g.AddSDFTask("a", 1)
+	b := g.AddSDFTask("b", 5)
+	g.AddSDFBuffer("ab", a, b, 2, 3, 0)
+	res := mustRun(t, g)
+	if res.Period.String() != "10" {
+		t.Errorf("Ω = %s, want 10", res.Period)
+	}
+}
+
+func TestSCCPlusTailDecomposition(t *testing.T) {
+	// A 2-ring bottleneck feeding a fast sink.
+	g := csdf.NewGraph("ring+tail")
+	a := g.AddSDFTask("a", 3)
+	b := g.AddSDFTask("b", 2)
+	c := g.AddSDFTask("c", 1)
+	g.AddSDFBuffer("ab", a, b, 1, 1, 0)
+	g.AddSDFBuffer("ba", b, a, 1, 1, 1)
+	g.AddSDFBuffer("bc", b, c, 1, 1, 0)
+	res := mustRun(t, g)
+	// Ring period = 5 (one token), tail c period = 1.
+	if res.Period.String() != "5" {
+		t.Errorf("Ω = %s, want 5", res.Period)
+	}
+}
+
+func TestAgreesWithKIterOnFixtures(t *testing.T) {
+	graphs := []*csdf.Graph{
+		gen.Figure2(),
+		gen.MultiRateCycle(),
+		gen.CyclicCSDF(),
+		gen.UpDownSampler(3, 2),
+		gen.SampleRateConverter(),
+		gen.HSDFRing(5, []int64{1, 3}, 2),
+	}
+	for _, g := range graphs {
+		sym := mustRun(t, g)
+		ki, err := kperiodic.KIter(g, kperiodic.Options{})
+		if err != nil {
+			t.Fatalf("%s: KIter: %v", g.Name, err)
+		}
+		if sym.Period.Cmp(ki.Period) != 0 {
+			t.Errorf("%s: symbolic Ω = %s ≠ K-Iter Ω = %s",
+				g.Name, sym.Period, ki.Period)
+		}
+	}
+}
+
+func TestCapacityConstrainedAgreement(t *testing.T) {
+	for _, capacity := range []int64{1, 2, 5} {
+		g := gen.TwoTaskChain(2, 3)
+		g.SetCapacity(0, capacity)
+		bounded, err := g.WithCapacities()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sym := mustRun(t, bounded)
+		ki, err := kperiodic.KIter(bounded, kperiodic.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sym.Period.Cmp(ki.Period) != 0 {
+			t.Errorf("capacity %d: symbolic Ω = %s ≠ K-Iter Ω = %s",
+				capacity, sym.Period, ki.Period)
+		}
+	}
+}
+
+func TestDeadlock(t *testing.T) {
+	g := gen.DeadlockedRing()
+	_, err := symbexec.Run(g, symbexec.Options{})
+	if !errors.Is(err, symbexec.ErrDeadlock) {
+		t.Errorf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestPartialDeadlockDetected(t *testing.T) {
+	// A healthy source feeding a dead ring: the graph never completes an
+	// iteration.
+	g := csdf.NewGraph("half-dead")
+	s := g.AddSDFTask("src", 1)
+	a := g.AddSDFTask("a", 1)
+	b := g.AddSDFTask("b", 1)
+	g.AddSDFBuffer("sa", s, a, 1, 1, 0)
+	g.AddSDFBuffer("ab", a, b, 1, 1, 0)
+	g.AddSDFBuffer("ba", b, a, 1, 1, 0) // dead ring: no tokens
+	_, err := symbexec.Run(g, symbexec.Options{})
+	if !errors.Is(err, symbexec.ErrDeadlock) {
+		t.Errorf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	g := gen.Figure2()
+	_, err := symbexec.Run(g, symbexec.Options{MaxEvents: 3})
+	if !errors.Is(err, symbexec.ErrBudget) {
+		t.Errorf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestInconsistentRejected(t *testing.T) {
+	g := csdf.NewGraph("bad")
+	a := g.AddSDFTask("a", 1)
+	b := g.AddSDFTask("b", 1)
+	g.AddSDFBuffer("x", a, b, 1, 1, 0)
+	g.AddSDFBuffer("y", a, b, 2, 1, 0)
+	if _, err := symbexec.Run(g, symbexec.Options{}); err == nil {
+		t.Error("inconsistent graph accepted")
+	}
+}
+
+func TestReferenceTaskInvariance(t *testing.T) {
+	// Theorem 1: every reference task yields the same normalized period.
+	g := gen.Figure2()
+	base := mustRun(t, g)
+	for ref := 1; ref < g.NumTasks(); ref++ {
+		res, err := symbexec.Run(g, symbexec.Options{Reference: csdf.TaskID(ref)})
+		if err != nil {
+			t.Fatalf("ref %d: %v", ref, err)
+		}
+		if res.Period.Cmp(base.Period) != 0 {
+			t.Errorf("ref %d: Ω = %s, want %s", ref, res.Period, base.Period)
+		}
+	}
+}
+
+func TestSimulateASAPTrace(t *testing.T) {
+	g := gen.TwoTaskChain(2, 3)
+	trace, dead, err := symbexec.Simulate(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead {
+		t.Fatal("chain reported dead")
+	}
+	if len(trace) == 0 {
+		t.Fatal("empty trace")
+	}
+	// A fires at 0; B's first firing starts exactly when A completes.
+	var aStarts, bStarts []int64
+	for _, f := range trace {
+		switch f.Task {
+		case 0:
+			aStarts = append(aStarts, f.Start)
+		case 1:
+			bStarts = append(bStarts, f.Start)
+		}
+	}
+	if aStarts[0] != 0 {
+		t.Errorf("A first start = %d, want 0", aStarts[0])
+	}
+	if len(bStarts) == 0 || bStarts[0] != 2 {
+		t.Errorf("B first start = %v, want 2", bStarts)
+	}
+	// ASAP: A fires back-to-back every 2 time units.
+	for i := 1; i < len(aStarts); i++ {
+		if aStarts[i]-aStarts[i-1] != 2 {
+			t.Errorf("A starts not back-to-back: %v", aStarts)
+			break
+		}
+	}
+}
+
+func TestSimulateTraceIsFeasible(t *testing.T) {
+	// Replay the trace and check no buffer ever goes negative and no two
+	// firings of a task overlap.
+	graphs := []*csdf.Graph{gen.Figure2(), gen.MultiRateCycle(), gen.CyclicCSDF()}
+	for _, g := range graphs {
+		trace, dead, err := symbexec.Simulate(g, 40)
+		if err != nil || dead {
+			t.Fatalf("%s: err=%v dead=%v", g.Name, err, dead)
+		}
+		checkTraceFeasible(t, g, trace)
+	}
+}
+
+// checkTraceFeasible replays firings event by event: consumption at start,
+// production at end, sequential tasks.
+func checkTraceFeasible(t *testing.T, g *csdf.Graph, trace []symbexec.Firing) {
+	t.Helper()
+	type event struct {
+		time    int64
+		isStart bool
+		f       symbexec.Firing
+	}
+	var events []event
+	for _, f := range trace {
+		events = append(events, event{f.Start, true, f})
+		events = append(events, event{f.Start + f.Duration, false, f})
+	}
+	// Ends before starts at equal times (production available to same-time
+	// consumers).
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return !events[i].isStart && events[j].isStart
+	})
+	tokens := make([]int64, g.NumBuffers())
+	for i, b := range g.Buffers() {
+		tokens[i] = b.Initial
+	}
+	busyUntil := make([]int64, g.NumTasks())
+	for i := range busyUntil {
+		busyUntil[i] = -1
+	}
+	horizon := int64(0)
+	for _, f := range trace {
+		if f.Start > horizon {
+			horizon = f.Start
+		}
+	}
+	for _, ev := range events {
+		if ev.isStart {
+			if ev.f.Start < busyUntil[ev.f.Task] {
+				t.Errorf("%s: task %d starts at %d before previous firing ends at %d",
+					g.Name, ev.f.Task, ev.f.Start, busyUntil[ev.f.Task])
+			}
+			busyUntil[ev.f.Task] = ev.f.Start + ev.f.Duration
+			for _, b := range g.Buffers() {
+				if b.Dst == ev.f.Task {
+					tokens[b.ID] -= b.Out[ev.f.Phase-1]
+					if tokens[b.ID] < 0 {
+						t.Fatalf("%s: buffer %s negative (%d) at t=%d",
+							g.Name, b.Name, tokens[b.ID], ev.time)
+					}
+				}
+			}
+		} else {
+			if ev.time > horizon {
+				continue // productions past the recorded horizon
+			}
+			for _, b := range g.Buffers() {
+				if b.Src == ev.f.Task {
+					tokens[b.ID] += b.In[ev.f.Phase-1]
+				}
+			}
+		}
+	}
+}
+
+func TestSimulateDeadlockFlag(t *testing.T) {
+	g := gen.DeadlockedRing()
+	trace, dead, err := symbexec.Simulate(g, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dead {
+		t.Error("deadlocked ring not flagged")
+	}
+	if len(trace) != 0 {
+		t.Errorf("dead graph produced %d firings", len(trace))
+	}
+}
+
+func TestZeroDurationTasks(t *testing.T) {
+	// A zero-duration middle task: throughput bounded by neighbours.
+	g := csdf.NewGraph("zero")
+	a := g.AddSDFTask("a", 2)
+	z := g.AddSDFTask("z", 0)
+	b := g.AddSDFTask("b", 1)
+	g.AddSDFBuffer("az", a, z, 1, 1, 0)
+	g.AddSDFBuffer("zb", z, b, 1, 1, 0)
+	g.AddSDFBuffer("ba", b, a, 1, 1, 1)
+	res := mustRun(t, g)
+	ki, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period.Cmp(ki.Period) != 0 {
+		t.Errorf("symbolic Ω = %s ≠ K-Iter Ω = %s", res.Period, ki.Period)
+	}
+}
+
+func TestResultMetadata(t *testing.T) {
+	g := gen.Figure2()
+	res := mustRun(t, g)
+	if res.Events <= 0 {
+		t.Error("no events counted")
+	}
+	if res.CycleTime <= 0 {
+		t.Error("no cycle time")
+	}
+	if res.Throughput.Mul(res.Period).String() != "1" {
+		t.Error("throughput ≠ 1/period")
+	}
+}

@@ -1,0 +1,154 @@
+package kiter_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kiter"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	g := kiter.NewGraph("pipeline")
+	a := g.AddTask("A", []int64{1, 2})
+	b := g.AddSDFTask("B", 3)
+	g.AddBuffer("ab", a, b, []int64{2, 1}, []int64{1}, 0)
+	res, err := kiter.Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q = [1, 3]: task bounds are 3 (A) and 9 (B); no feedback, so Ω = 9.
+	if res.Period.String() != "9" {
+		t.Errorf("Ω = %s, want 9", res.Period)
+	}
+	if !res.Optimal || !res.Certified {
+		t.Error("facade result not optimal/certified")
+	}
+}
+
+func TestFacadeFigure2(t *testing.T) {
+	g := kiter.Figure2()
+	res, err := kiter.Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period.String() != "13" {
+		t.Errorf("Ω = %s, want 13", res.Period)
+	}
+	p, err := kiter.ThroughputPeriodic(g, kiter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period.String() != "18" {
+		t.Errorf("periodic Ω = %s, want 18", p.Period)
+	}
+	e, err := kiter.ThroughputExpansion(g, kiter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Period.Cmp(res.Period) != 0 {
+		t.Error("expansion disagrees with K-Iter")
+	}
+	sym, err := kiter.ThroughputSymbolic(g, kiter.SymbolicOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Period.Cmp(res.Period) != 0 {
+		t.Error("symbolic execution disagrees with K-Iter")
+	}
+}
+
+func TestFacadeScheduleAndGantt(t *testing.T) {
+	g := kiter.Figure2()
+	res, err := kiter.Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := kiter.BuildSchedule(g, res.K, kiter.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(g, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := kiter.GanttFromSchedule(g, s, 1, "fig4").Render(80)
+	if !strings.Contains(out, "fig4") {
+		t.Error("gantt render missing title")
+	}
+	lat := kiter.IterationLatency(g, s)
+	if lat.Sign() <= 0 {
+		t.Error("non-positive latency")
+	}
+	trace, dead, err := kiter.Simulate(g, 26)
+	if err != nil || dead {
+		t.Fatalf("simulate: %v dead=%v", err, dead)
+	}
+	out = kiter.GanttFromTrace(g, trace, "fig3").Render(80)
+	if !strings.Contains(out, "fig3") {
+		t.Error("trace gantt missing title")
+	}
+}
+
+func TestFacadeSizing(t *testing.T) {
+	g := kiter.Figure2()
+	caps, period, err := kiter.OptimalCapacities(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != g.NumBuffers() || period.Sign() <= 0 {
+		t.Error("bad sizing result")
+	}
+	points, err := kiter.BufferTradeOff(g, []int64{1, 4})
+	if err != nil || len(points) != 2 {
+		t.Fatalf("trade-off: %v (%d points)", err, len(points))
+	}
+	scale, err := kiter.MinUniformScale(g, period, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale < 1 {
+		t.Error("bad scale")
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	g := kiter.Figure2()
+	var buf bytes.Buffer
+	if err := kiter.WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := kiter.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTasks() != g.NumTasks() {
+		t.Error("JSON round trip lost tasks")
+	}
+	buf.Reset()
+	if err := kiter.WriteXML(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kiter.ReadXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRats(t *testing.T) {
+	if kiter.NewRat(6, 4).String() != "3/2" {
+		t.Error("NewRat broken")
+	}
+	if kiter.IntRat(7).String() != "7" {
+		t.Error("IntRat broken")
+	}
+}
+
+func TestFacadeSampleRateConverter(t *testing.T) {
+	g := kiter.SampleRateConverter()
+	res, err := kiter.Throughput(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period.Sign() <= 0 {
+		t.Error("bad period")
+	}
+}
