@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"kiter/internal/engine"
+	"kiter/internal/sdf3x"
+)
+
+// collectBatchPaths resolves the -batch argument: a directory yields every
+// .json/.xml file under it (sorted); a regular file is read as a manifest
+// of one graph path per line (relative paths resolve against the manifest
+// location; blank lines and #-comments are skipped).
+func collectBatchPaths(arg string) ([]string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if info.IsDir() {
+		var paths []string
+		err := filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				return nil
+			}
+			switch strings.ToLower(filepath.Ext(path)) {
+			case ".json", ".xml":
+				paths = append(paths, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no .json or .xml graphs under %s", arg)
+		}
+		return paths, nil
+	}
+	f, err := os.Open(arg)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	base := filepath.Dir(arg)
+	var paths []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !filepath.IsAbs(line) {
+			line = filepath.Join(base, line)
+		}
+		paths = append(paths, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("manifest %s lists no graphs", arg)
+	}
+	return paths, nil
+}
+
+// batchLine is one graph's outcome in batch mode.
+type batchLine struct {
+	path string
+	res  *engine.Result
+	err  error
+}
+
+// runBatch streams every graph through the engine in parallel, printing
+// one line per graph in input order plus a closing stats summary. Graphs
+// that fail to load or analyze are reported but do not abort the batch;
+// the returned error counts them.
+func runBatch(e *engine.Engine, paths []string, tmpl requestTemplate, out io.Writer) error {
+	lines := make([]batchLine, len(paths))
+	// The engine's worker pool bounds compute; this semaphore, acquired
+	// before each goroutine is spawned, bounds live submitter goroutines
+	// (and therefore in-flight jobs) below the engine's load-shedding
+	// threshold — including a user-lowered -max-pending — even for very
+	// large manifests.
+	pool := e.Stats()
+	width := 2 * pool.Workers
+	if pool.MaxPending > 0 && pool.MaxPending < width {
+		width = pool.MaxPending
+	}
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, path := range paths {
+		i, path := i, path
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			lines[i] = analyzeFile(e, path, tmpl)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := 0
+	for _, l := range lines {
+		if l.err != nil {
+			failed++
+			fmt.Fprintf(out, "%-40s error: %v\n", filepath.Base(l.path), l.err)
+			continue
+		}
+		fmt.Fprintf(out, "%-40s %s\n", filepath.Base(l.path), formatResult(l.res))
+	}
+	s := e.Stats()
+	fmt.Fprintf(out, "\nbatch: %d graphs in %v (%d evaluated, %d cache hits, %d deduped, hit rate %.0f%%, mean eval %.1fms)\n",
+		len(paths), elapsed.Round(time.Millisecond), s.Evaluations, s.CacheHits, s.Deduped, 100*s.HitRate, s.MeanLatencyMS)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d graphs failed", failed, len(paths))
+	}
+	return nil
+}
+
+// analyzeFile loads one graph file and submits it.
+func analyzeFile(e *engine.Engine, path string, tmpl requestTemplate) batchLine {
+	g, err := sdf3x.ReadFile(path)
+	if err != nil {
+		return batchLine{path: path, err: err}
+	}
+	ctx := context.Background()
+	if tmpl.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, tmpl.Timeout)
+		defer cancel()
+	}
+	res, err := e.Submit(ctx, &engine.Request{
+		Graph:           g,
+		Analyses:        tmpl.Analyses,
+		Method:          tmpl.Method,
+		ApplyCapacities: tmpl.Capacities,
+	})
+	return batchLine{path: path, res: res, err: err}
+}
+
+// formatResult renders the batch line for one result.
+func formatResult(res *engine.Result) string {
+	var sb strings.Builder
+	if t := res.Throughput; t != nil {
+		if t.Error != "" {
+			fmt.Fprintf(&sb, "throughput error: %s", t.Error)
+		} else {
+			fmt.Fprintf(&sb, "Ω = %-14s Th = %-14s %-9s optimal=%v", t.Period, t.Throughput, t.Method, t.Optimal)
+		}
+	}
+	if s := res.Schedule; s != nil {
+		if s.Error != "" {
+			fmt.Fprintf(&sb, "  schedule error: %s", s.Error)
+		} else {
+			fmt.Fprintf(&sb, "  latency = %s", s.Latency)
+		}
+	}
+	if s := res.Symbolic; s != nil && res.Throughput == nil {
+		if s.Error != "" {
+			fmt.Fprintf(&sb, "  symbolic error: %s", s.Error)
+		} else {
+			fmt.Fprintf(&sb, "Ω = %-14s (symbolic)", s.Period)
+		}
+	}
+	if s := res.Sizing; s != nil {
+		if s.Error != "" {
+			fmt.Fprintf(&sb, "  sizing error: %s", s.Error)
+		} else {
+			total := int64(0)
+			for _, c := range s.Capacities {
+				total += c
+			}
+			fmt.Fprintf(&sb, "  capacity = %d over %d buffers", total, len(s.Capacities))
+		}
+	}
+	if res.CacheHit {
+		sb.WriteString("  [cached]")
+	} else if res.Deduped {
+		sb.WriteString("  [deduped]")
+	} else {
+		fmt.Fprintf(&sb, "  [%.1fms]", res.ElapsedMS)
+	}
+	return sb.String()
+}

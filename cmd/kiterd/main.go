@@ -1,0 +1,154 @@
+// Command kiterd serves the concurrent CSDF analysis engine.
+//
+// HTTP mode (default) exposes a JSON API:
+//
+//	POST /analyze   analyze a graph (body: a graph in the repository's
+//	                JSON format, or an envelope {"graph": …, "analyses":
+//	                ["throughput", …], "method": "race", "capacities":
+//	                false}); the response carries the analysis result plus
+//	                a cache/latency stats snapshot
+//	GET  /healthz   liveness probe
+//	GET  /stats     engine telemetry (cache hit rate, latency, race wins)
+//
+// Batch mode streams a directory (every .json/.xml graph under it) or a
+// manifest file (one graph path per line) through the engine in parallel
+// and prints one result line per graph:
+//
+//	kiterd -batch graphs/
+//	kiterd -batch manifest.txt -method kiter -analyses throughput,schedule
+//	kiterd -batch-suite mimicdsp -batch-count 20 -batch-dir /tmp/suite
+//
+// Usage:
+//
+//	kiterd [-addr :8080] [-workers N] [-cache N] [-method race]
+//	       [-analyses throughput] [-capacities] [-timeout 60s]
+//	       [-batch dir-or-manifest]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"kiter/internal/engine"
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+	"kiter/internal/symbexec"
+)
+
+func main() {
+	// run owns all deferred cleanup (engine shutdown, temp suite dirs);
+	// exiting from main keeps those defers running on failure.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kiterd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue depth (0 = 2×workers)")
+		cacheSize  = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+		shards     = flag.Int("cache-shards", 16, "result cache shard count")
+		maxPending = flag.Int("max-pending", 0, "max in-flight jobs before shedding load (0 = 16×(workers+1))")
+		method     = flag.String("method", "race", "throughput method: race | kiter | periodic | expansion | symbolic")
+		analyses   = flag.String("analyses", "throughput", "comma-separated analyses: throughput,schedule,sizing,symbolic")
+		capacities = flag.Bool("capacities", false, "apply declared buffer capacities before analysis")
+		timeout    = flag.Duration("timeout", 60*time.Second, "per-request analysis timeout")
+		maxNodes   = flag.Int64("max-nodes", 2_000_000, "bi-valued graph node budget per evaluation (0 = unlimited)")
+		maxPairs   = flag.Int64("max-pairs", 50_000_000, "phase-pair budget per evaluation (0 = unlimited)")
+		symEvents  = flag.Int64("symbolic-budget", 0, "symbolic execution event budget (0 = default)")
+		batch      = flag.String("batch", "", "batch mode: analyze a directory or manifest of graph files and exit")
+		batchSuite = flag.String("batch-suite", "", "batch mode: generate a benchmark suite (actualdsp, mimicdsp, lghsdf, lgtransient) and analyze it")
+		batchCount = flag.Int("batch-count", 20, "graphs to generate with -batch-suite")
+		batchSeed  = flag.Int64("batch-seed", 1, "generation seed for -batch-suite")
+		batchDir   = flag.String("batch-dir", "", "directory to materialize -batch-suite graphs into (default: temp dir)")
+	)
+	flag.Parse()
+
+	e := engine.New(engine.Config{
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		CacheCapacity: *cacheSize,
+		CacheShards:   *shards,
+		MaxPending:    *maxPending,
+		Options:       kperiodic.Options{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
+		Symbolic:      symbexec.Options{MaxEvents: *symEvents},
+	})
+	defer e.Close()
+
+	tmpl := requestTemplate{
+		Method:     engine.Method(*method),
+		Analyses:   parseAnalyses(*analyses),
+		Capacities: *capacities,
+		Timeout:    *timeout,
+	}
+	// Fail fast on flag typos rather than per submission (a bad -method
+	// would otherwise generate a whole batch suite only to fail every
+	// graph, or 400 every HTTP request).
+	if !engine.ValidMethod(tmpl.Method) {
+		return fmt.Errorf("unknown -method %q (want race, kiter, periodic, expansion or symbolic)", *method)
+	}
+	for _, a := range tmpl.Analyses {
+		if !engine.ValidAnalysis(a) {
+			return fmt.Errorf("unknown analysis %q in -analyses (want throughput, schedule, sizing or symbolic)", a)
+		}
+	}
+
+	switch {
+	case *batchSuite != "":
+		dir := *batchDir
+		if dir == "" {
+			var err error
+			dir, err = os.MkdirTemp("", "kiterd-suite-")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+		}
+		suite, err := gen.SuiteByName(*batchSuite, *batchCount, *batchSeed)
+		if err != nil {
+			return err
+		}
+		paths, err := gen.WriteSuite(dir, suite)
+		if err != nil {
+			return err
+		}
+		return runBatch(e, paths, tmpl, os.Stdout)
+	case *batch != "":
+		paths, err := collectBatchPaths(*batch)
+		if err != nil {
+			return err
+		}
+		return runBatch(e, paths, tmpl, os.Stdout)
+	default:
+		srv := newServer(e, tmpl)
+		fmt.Printf("kiterd: listening on %s (%d workers)\n", *addr, e.Stats().Workers)
+		return http.ListenAndServe(*addr, srv)
+	}
+}
+
+// requestTemplate carries the per-process defaults applied to every
+// submission (HTTP bodies may override analyses/method/capacities).
+type requestTemplate struct {
+	Method     engine.Method
+	Analyses   []engine.AnalysisKind
+	Capacities bool
+	Timeout    time.Duration
+}
+
+func parseAnalyses(s string) []engine.AnalysisKind {
+	var out []engine.AnalysisKind
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, engine.AnalysisKind(part))
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kiter/internal/engine"
+	"kiter/internal/gen"
+	"kiter/internal/sdf3x"
+)
+
+func testTemplate() requestTemplate {
+	return requestTemplate{
+		Method:   engine.MethodRace,
+		Analyses: []engine.AnalysisKind{engine.AnalysisThroughput},
+		Timeout:  time.Minute,
+	}
+}
+
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	e := engine.New(engine.Config{Workers: 4})
+	t.Cleanup(e.Close)
+	return newServer(e, testTemplate())
+}
+
+func graphBody(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sdf3x.WriteJSON(&buf, gen.Figure2()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnalyzeBareGraph(t *testing.T) {
+	srv := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(graphBody(t))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	var resp analyzeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result == nil || resp.Result.Throughput == nil {
+		t.Fatalf("missing throughput: %s", rec.Body)
+	}
+	if !resp.Result.Throughput.Optimal {
+		t.Fatal("result not optimal")
+	}
+	if resp.Stats.Submitted == 0 {
+		t.Fatal("response carries no stats")
+	}
+}
+
+func TestAnalyzeEnvelopeAndCacheStats(t *testing.T) {
+	srv := newTestServer(t)
+	env := map[string]any{
+		"graph":    json.RawMessage(graphBody(t)),
+		"method":   "kiter",
+		"analyses": []string{"throughput", "symbolic"},
+	}
+	body, _ := json.Marshal(env)
+	var resp analyzeResponse
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if resp.Result.Throughput == nil || resp.Result.Symbolic == nil {
+		t.Fatalf("missing sections: %s", mustJSON(resp.Result))
+	}
+	if resp.Result.Throughput.Method != engine.MethodKIter {
+		t.Fatalf("method = %s, want kiter", resp.Result.Throughput.Method)
+	}
+	if !resp.Result.CacheHit {
+		t.Fatal("second identical request was not a cache hit")
+	}
+	if resp.Stats.CacheHits != 1 || resp.Stats.Evaluations != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 evaluation", resp.Stats)
+	}
+}
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", "nope"},
+		{"no tasks", `{"name":"empty"}`},
+		{"bad method", `{"graph":{"tasks":[{"name":"a","durations":[1]}]},"method":"bogus"}`},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analyze", strings.NewReader(c.body)))
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400 (body %s)", c.name, rec.Code, rec.Body)
+		}
+	}
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/analyze", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /analyze: status = %d, want 405", rec.Code)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	srv := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body)
+	}
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	var s engine.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("stats not decodable: %v", err)
+	}
+}
+
+// TestBatchEndToEnd drives the batch front-end over a directory of ≥ 20
+// generated suite graphs, twice — the second pass must be all cache hits.
+func TestBatchEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	suite, err := gen.SuiteByName("mimicdsp", 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Graphs) < 20 {
+		t.Fatalf("suite produced only %d graphs", len(suite.Graphs))
+	}
+	paths, err := gen.WriteSuite(dir, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := engine.New(engine.Config{Workers: 4})
+	t.Cleanup(e.Close)
+	tmpl := testTemplate()
+	tmpl.Method = engine.MethodKIter
+
+	var out bytes.Buffer
+	if err := runBatch(e, paths, tmpl, &out); err != nil {
+		t.Fatalf("runBatch: %v\n%s", err, out.String())
+	}
+	if got := strings.Count(out.String(), "Ω ="); got != len(paths) {
+		t.Fatalf("batch printed %d results for %d graphs:\n%s", got, len(paths), out.String())
+	}
+	s := e.Stats()
+	if int(s.Evaluations) != len(paths) {
+		t.Fatalf("evaluations = %d, want %d", s.Evaluations, len(paths))
+	}
+
+	out.Reset()
+	if err := runBatch(e, paths, tmpl, &out); err != nil {
+		t.Fatalf("second runBatch: %v", err)
+	}
+	if got := strings.Count(out.String(), "[cached]"); got != len(paths) {
+		t.Fatalf("second pass had %d cache hits for %d graphs:\n%s", got, len(paths), out.String())
+	}
+}
+
+func TestBatchManifestAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := gen.WriteSuite(dir, gen.ActualDSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest := filepath.Join(dir, "manifest.txt")
+	var sb strings.Builder
+	sb.WriteString("# batch manifest\n\n")
+	for _, p := range paths {
+		sb.WriteString(filepath.Base(p) + "\n")
+	}
+	sb.WriteString("missing.json\n")
+	if err := os.WriteFile(manifest, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := collectBatchPaths(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(paths)+1 {
+		t.Fatalf("manifest resolved %d paths, want %d", len(got), len(paths)+1)
+	}
+
+	e := engine.New(engine.Config{Workers: 2})
+	t.Cleanup(e.Close)
+	var out bytes.Buffer
+	err = runBatch(e, got, testTemplate(), &out)
+	if err == nil || !strings.Contains(err.Error(), "1 of") {
+		t.Fatalf("missing graph not reported: err=%v\n%s", err, out.String())
+	}
+
+	if _, err := collectBatchPaths(filepath.Join(dir, "does-not-exist")); err == nil {
+		t.Fatal("missing batch argument accepted")
+	}
+}
+
+func TestCollectBatchPathsDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := gen.WriteSuite(dir, gen.ActualDSP()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := collectBatchPaths(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(gen.ActualDSP().Graphs) {
+		t.Fatalf("dir walk found %d graphs, want %d", len(paths), len(gen.ActualDSP().Graphs))
+	}
+	for _, p := range paths {
+		if strings.HasSuffix(p, ".txt") {
+			t.Fatalf("non-graph file collected: %s", p)
+		}
+	}
+}
+
+func mustJSON(v any) string {
+	b, _ := json.MarshalIndent(v, "", "  ")
+	return string(b)
+}

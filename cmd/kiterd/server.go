@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"kiter/internal/engine"
+	"kiter/internal/sdf3x"
+)
+
+// maxBodyBytes bounds /analyze request bodies (64 MiB covers the largest
+// Table 2 instances with room to spare).
+const maxBodyBytes = 64 << 20
+
+// server is the HTTP front-end over the analysis engine.
+type server struct {
+	e    *engine.Engine
+	tmpl requestTemplate
+	mux  *http.ServeMux
+}
+
+func newServer(e *engine.Engine, tmpl requestTemplate) *server {
+	s := &server{e: e, tmpl: tmpl, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// analyzeEnvelope is the optional request wrapper: a bare graph body (the
+// repository's JSON graph format) is accepted too and detected by the
+// absence of the "graph" key.
+type analyzeEnvelope struct {
+	Graph      json.RawMessage `json:"graph"`
+	Analyses   []string        `json:"analyses"`
+	Method     string          `json:"method"`
+	Capacities *bool           `json:"capacities"`
+	NoCache    bool            `json:"noCache"`
+}
+
+// analyzeResponse is the /analyze reply: the analysis result plus a
+// telemetry snapshot taken after the submission, so every response carries
+// the serving cache hit-rate and latency counters.
+type analyzeResponse struct {
+	Result *engine.Result `json:"result"`
+	Stats  engine.Stats   `json:"stats"`
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxBodyBytes)
+		return
+	}
+	var env analyzeEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	graphJSON := env.Graph
+	if graphJSON == nil {
+		graphJSON = body // bare graph body
+	}
+	g, err := sdf3x.ReadJSON(bytes.NewReader(graphJSON))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "decoding graph: %v", err)
+		return
+	}
+
+	req := &engine.Request{
+		Graph:           g,
+		Analyses:        s.tmpl.Analyses,
+		Method:          s.tmpl.Method,
+		ApplyCapacities: s.tmpl.Capacities,
+		NoCache:         env.NoCache,
+	}
+	if len(env.Analyses) > 0 {
+		req.Analyses = nil
+		for _, a := range env.Analyses {
+			req.Analyses = append(req.Analyses, engine.AnalysisKind(a))
+		}
+	}
+	if env.Method != "" {
+		req.Method = engine.Method(env.Method)
+	}
+	if env.Capacities != nil {
+		req.ApplyCapacities = *env.Capacities
+	}
+
+	ctx := r.Context()
+	if s.tmpl.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.tmpl.Timeout)
+		defer cancel()
+	}
+	res, err := s.e.Submit(ctx, req)
+	if err != nil {
+		switch {
+		case errors.Is(err, engine.ErrOverloaded):
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, engine.ErrClosed):
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			httpError(w, http.StatusGatewayTimeout, "analysis timed out")
+		case errors.Is(err, context.Canceled):
+			httpError(w, http.StatusBadRequest, "request cancelled")
+		default:
+			httpError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, analyzeResponse{Result: res, Stats: s.e.Stats()})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.e.Stats().Workers,
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,3 @@
+module kiter
+
+go 1.24

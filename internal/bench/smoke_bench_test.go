@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"testing"
+
+	"kiter/internal/gen"
+)
+
+// Benchmark smoke targets for CI: one run per method on the paper's
+// running example keeps the harness honest without Table-scale runtimes.
+
+func BenchmarkRunKIterFigure2(b *testing.B) {
+	g := gen.Figure2()
+	for i := 0; i < b.N; i++ {
+		if out := Run(g, MethodKIter, Limits{}); out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
+}
+
+func BenchmarkRunPeriodicFigure2(b *testing.B) {
+	g := gen.Figure2()
+	for i := 0; i < b.N; i++ {
+		if out := Run(g, MethodPeriodic, Limits{}); out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
+}
+
+func BenchmarkRunSymbolicFigure2(b *testing.B) {
+	g := gen.Figure2()
+	for i := 0; i < b.N; i++ {
+		if out := Run(g, MethodSymbolic, Limits{}); out.Err != nil {
+			b.Fatal(out.Err)
+		}
+	}
+}

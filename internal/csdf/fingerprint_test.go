@@ -1,0 +1,73 @@
+package csdf
+
+import "testing"
+
+func fpGraph(name string, m0 int64) *Graph {
+	g := NewGraph(name)
+	a := g.AddTask("A", []int64{1, 2})
+	b := g.AddSDFTask("B", 3)
+	g.AddBuffer("ab", a, b, []int64{2, 1}, []int64{1}, m0)
+	return g
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	if fpGraph("g", 0).Fingerprint() != fpGraph("g", 0).Fingerprint() {
+		t.Fatal("identical graphs have different fingerprints")
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a, b := fpGraph("one", 0), fpGraph("two", 0)
+	b.Task(0).Name = "renamed" // aliasing mutation, test-only
+	if a.FingerprintHex() != b.FingerprintHex() {
+		t.Fatal("fingerprint depends on names")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpGraph("g", 0).Fingerprint()
+
+	if fpGraph("g", 1).Fingerprint() == base {
+		t.Fatal("initial marking change not detected")
+	}
+
+	durs := fpGraph("g", 0)
+	durs.Task(0).Durations[1] = 7
+	if durs.Fingerprint() == base {
+		t.Fatal("duration change not detected")
+	}
+
+	caps := fpGraph("g", 0)
+	caps.SetCapacity(0, 5)
+	if caps.Fingerprint() == base {
+		t.Fatal("capacity change not detected")
+	}
+
+	rates := fpGraph("g", 0)
+	rates.Buffer(0).In[0] = 9
+	if rates.Fingerprint() == base {
+		t.Fatal("rate change not detected")
+	}
+}
+
+// A boundary shift between adjacent variable-length vectors must change the
+// hash: the length prefixes make the encoding self-delimiting.
+func TestFingerprintBoundaries(t *testing.T) {
+	a := NewGraph("a")
+	a.AddTask("t0", []int64{1, 2})
+	a.AddTask("t1", []int64{3})
+	b := NewGraph("b")
+	b.AddTask("t0", []int64{1})
+	b.AddTask("t1", []int64{2, 3})
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("phase-boundary shift not detected")
+	}
+}
+
+func TestFingerprintClone(t *testing.T) {
+	g := fpGraph("g", 2)
+	g.SetCapacity(0, 9)
+	if g.Fingerprint() != g.Clone().Fingerprint() {
+		t.Fatal("clone changes the fingerprint")
+	}
+}

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a sharded LRU cache from cache keys to Results. Sharding
+// keeps lock contention bounded under concurrent serving: each key maps to
+// one shard (FNV-1a over the key), and every shard runs its own mutex and
+// its own LRU list. Keys are fingerprint-based, i.e. already uniformly
+// distributed.
+type resultCache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// newResultCache builds a cache with the given shard count and total
+// capacity (entries, split evenly across shards). A non-positive capacity
+// yields a nil cache, on which every operation is a no-op miss.
+func newResultCache(shards, capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > capacity {
+		shards = capacity
+	}
+	perShard := (capacity + shards - 1) / shards
+	c := &resultCache{shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{
+			capacity: perShard,
+			order:    list.New(),
+			items:    make(map[string]*list.Element, perShard),
+		}
+	}
+	return c
+}
+
+func (c *resultCache) shard(key string) *cacheShard {
+	// Inline FNV-1a: the hash/fnv API would allocate a hasher and a key
+	// copy on every get/put of the serving hot path.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%uint32(len(c.shards))]
+}
+
+// get returns the cached result for key, promoting it to most recently
+// used. The returned Result is the shared cached instance — callers must
+// shallowCopy before setting per-submission fields.
+func (c *resultCache) get(key string) (*Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts or refreshes key, evicting the shard's least recently used
+// entry on overflow.
+func (c *resultCache) put(key string, res *Result) {
+	if c == nil {
+		return
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, res: res})
+	if s.order.Len() > s.capacity {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the total number of cached entries.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMissPromotion(t *testing.T) {
+	c := newResultCache(4, 8)
+	if _, ok := c.get("absent"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("a", &Result{Fingerprint: "a"})
+	res, ok := c.get("a")
+	if !ok || res.Fingerprint != "a" {
+		t.Fatalf("get(a) = %v, %v", res, ok)
+	}
+	c.put("a", &Result{Fingerprint: "a2"})
+	if res, _ := c.get("a"); res.Fingerprint != "a2" {
+		t.Fatal("put did not refresh existing entry")
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// One shard makes the LRU order deterministic.
+	c := newResultCache(1, 3)
+	for i := 0; i < 3; i++ {
+		c.put(fmt.Sprint("k", i), &Result{})
+	}
+	c.get("k0") // promote k0; k1 is now the LRU
+	c.put("k3", &Result{})
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 should have been evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s should have survived", k)
+		}
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+}
+
+func TestCacheShardedCapacity(t *testing.T) {
+	c := newResultCache(4, 8)
+	for i := 0; i < 100; i++ {
+		c.put(fmt.Sprint("key-", i), &Result{})
+	}
+	// Each of the 4 shards holds at most ceil(8/4) = 2 entries.
+	if n := c.len(); n > 8 {
+		t.Fatalf("cache grew to %d entries, capacity 8", n)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newResultCache(4, 0)
+	c.put("k", &Result{})
+	if _, ok := c.get("k"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatal("disabled cache has entries")
+	}
+}

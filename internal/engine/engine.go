@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kiter/internal/kperiodic"
+	"kiter/internal/symbexec"
+)
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers is the evaluation pool size (default: GOMAXPROCS). Note
+	// that a MethodRace job fans out into up to three concurrent
+	// contestant analyses while it holds its single worker slot, so peak
+	// compute under racing is up to 3·Workers — size Workers (or choose a
+	// single-method default) accordingly on memory-constrained hosts.
+	Workers int
+	// QueueDepth is the buffered job queue length (default: 2·Workers).
+	QueueDepth int
+	// CacheCapacity is the total memo-cache size in entries (default
+	// 4096; negative disables caching).
+	CacheCapacity int
+	// CacheShards splits the cache to bound lock contention (default 16).
+	CacheShards int
+	// MaxPending bounds jobs submitted but not yet finished; beyond it
+	// Submit fails fast with ErrOverloaded (default 16·(Workers+1),
+	// negative disables the bound).
+	MaxPending int
+	// Options are the guard rails passed to every K-periodic evaluation.
+	Options kperiodic.Options
+	// Symbolic are the budgets passed to every symbolic execution.
+	Symbolic symbexec.Options
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 4096
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = 16 * (cfg.Workers + 1)
+	}
+	return cfg
+}
+
+// Engine is the concurrent analysis engine. Create one with New, feed it
+// with Submit from any number of goroutines, and Close it when done.
+type Engine struct {
+	cfg    Config
+	jobs   chan *job
+	cache  *resultCache
+	flight *flightGroup
+	stats  counters
+
+	pending atomic.Int64
+	closed  chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+
+	// evalFn computes a job's result; replaced in tests to observe
+	// scheduling behaviour without paying for real analyses.
+	evalFn func(ctx context.Context, req *Request) (*Result, error)
+}
+
+// job couples a request with the flight call its waiters share.
+type job struct {
+	req  *Request
+	call *flightCall
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// ErrOverloaded is returned by Submit when MaxPending jobs are in flight;
+// callers should shed load (HTTP 503) or retry with backoff.
+var ErrOverloaded = errors.New("engine: too many pending jobs")
+
+// New starts an engine with cfg's worker pool.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		jobs:   make(chan *job, cfg.QueueDepth),
+		cache:  newResultCache(cfg.CacheShards, cfg.CacheCapacity),
+		flight: newFlightGroup(),
+		closed: make(chan struct{}),
+	}
+	e.evalFn = e.evaluate
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the pool: jobs already running on a worker complete
+// normally (their contexts are not cancelled, so their waiters still get
+// results), queued jobs that no worker picked up fail with ErrClosed, and
+// Close returns once every job has been resolved one way or the other.
+// It is safe to call once; Submit calls racing with Close may either
+// complete or report ErrClosed.
+func (e *Engine) Close() {
+	e.once.Do(func() { close(e.closed) })
+	e.wg.Wait()
+	// Fail whatever is still queued; enqueue goroutines observe closed
+	// themselves, so pending drains to zero.
+	for {
+		select {
+		case j := <-e.jobs:
+			e.finishJob(j, nil, ErrClosed)
+		default:
+			if e.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+		}
+	}
+}
+
+// Submit analyzes req.Graph, deduplicating against identical in-flight
+// submissions and memoizing completed results. It blocks until the result
+// is available, ctx is done, or the engine is closed/overloaded. The
+// returned Result must be treated as immutable.
+func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
+	e.stats.submitted.Add(1)
+	if req == nil || req.Graph == nil {
+		return nil, errors.New("engine: nil request or graph")
+	}
+	analyses := req.normalize()
+	for _, a := range analyses {
+		if !knownAnalyses[a] {
+			return nil, fmt.Errorf("engine: unknown analysis %q", a)
+		}
+	}
+	method := req.Method
+	if method == "" {
+		method = MethodRace
+	}
+	if !knownMethods[method] {
+		return nil, fmt.Errorf("engine: unknown method %q", method)
+	}
+	if err := req.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	select {
+	case <-e.closed:
+		return nil, ErrClosed
+	default:
+	}
+
+	// The prepared request the workers see: capacities applied up front
+	// so the fingerprint keys the structure that is actually analyzed.
+	prepared := &Request{
+		Graph:    req.Graph,
+		Analyses: analyses,
+		Method:   method,
+	}
+	if req.ApplyCapacities {
+		bounded, err := req.Graph.WithCapacities()
+		if err != nil {
+			return nil, fmt.Errorf("engine: applying capacities: %w", err)
+		}
+		prepared.Graph = bounded
+	}
+	fingerprint := prepared.Graph.FingerprintHex()
+	// Method only affects the throughput analysis: keep it out of the
+	// key otherwise, so identical non-throughput work coalesces and
+	// caches regardless of the (irrelevant) method a caller picked.
+	keyMethod := method
+	if !slices.Contains(analyses, AnalysisThroughput) {
+		keyMethod = ""
+	}
+	key := cacheKey(fingerprint, analyses, keyMethod, req.ApplyCapacities)
+
+	if !req.NoCache {
+		if res, ok := e.cache.get(key); ok {
+			e.stats.cacheHits.Add(1)
+			out := res.shallowCopy()
+			out.Graph = req.Graph.Name
+			out.CacheHit = true
+			return out, nil
+		}
+		e.stats.cacheMisses.Add(1)
+	}
+
+	c, leader := e.flight.join(key)
+	if leader {
+		if e.cfg.MaxPending > 0 && e.pending.Load() >= int64(e.cfg.MaxPending) {
+			e.stats.rejected.Add(1)
+			// Fail the whole call, not just this submitter: a waiter may
+			// have joined since join(), and leaving would strand it (and
+			// every later submission of this key) on a job that is never
+			// enqueued.
+			e.flight.finish(c, nil, ErrOverloaded)
+			return nil, ErrOverloaded
+		}
+		e.pending.Add(1)
+		// Re-check closed after raising pending: either Close's drain
+		// loop observes our increment and keeps consuming the queue until
+		// this job is finished, or its final pending read preceded the
+		// increment — in which case closed is already observable here and
+		// the job never enters the queue. Without this ordering a job
+		// enqueued during shutdown could sit in the channel with no
+		// worker or drain loop left to read it, hanging every waiter.
+		select {
+		case <-e.closed:
+			e.finishJob(&job{req: prepared, call: c}, nil, ErrClosed)
+			return nil, ErrClosed
+		default:
+		}
+		prepared.NoCache = req.NoCache
+		prepared.cacheKeyHint = key
+		prepared.fingerprintHint = fingerprint
+		go e.enqueue(&job{req: prepared, call: c})
+	} else {
+		e.stats.deduped.Add(1)
+	}
+
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, c.err
+		}
+		out := c.res.shallowCopy()
+		out.Graph = req.Graph.Name
+		out.Deduped = !leader
+		return out, nil
+	case <-ctx.Done():
+		e.flight.leave(c)
+		return nil, ctx.Err()
+	}
+}
+
+// enqueue hands a job to the pool, giving up when every waiter abandoned
+// it or the engine closed before a worker became free.
+func (e *Engine) enqueue(j *job) {
+	select {
+	case e.jobs <- j:
+	case <-j.call.jobCtx.Done():
+		e.finishJob(j, nil, j.call.jobCtx.Err())
+	case <-e.closed:
+		e.finishJob(j, nil, ErrClosed)
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case j := <-e.jobs:
+			e.runJob(j)
+		case <-e.closed:
+			return
+		}
+	}
+}
+
+// runJob computes one job and publishes its outcome to every waiter.
+func (e *Engine) runJob(j *job) {
+	ctx := j.call.jobCtx
+	if err := ctx.Err(); err != nil {
+		e.finishJob(j, nil, err)
+		return
+	}
+	e.stats.evaluations.Add(1)
+	start := time.Now()
+	res, err := e.evalFn(ctx, j.req)
+	elapsed := time.Since(start)
+	e.stats.latencyNanos.Add(int64(elapsed))
+	e.stats.latencyCount.Add(1)
+	switch {
+	case err == nil:
+		res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+		if !j.req.NoCache {
+			e.cache.put(j.req.cacheKeyHint, res)
+		}
+	case contextual(err):
+		e.stats.cancelled.Add(1)
+	default:
+		e.stats.errors.Add(1)
+	}
+	e.finishJob(j, res, err)
+}
+
+// finishJob releases the pending slot, then completes the flight call.
+// The order matters: finish wakes the waiters, and a woken submitter may
+// immediately Submit again — if pending were still holding this job's
+// slot, that submission could observe a stale count at MaxPending and be
+// spuriously rejected.
+func (e *Engine) finishJob(j *job, res *Result, err error) {
+	e.pending.Add(-1)
+	e.flight.finish(j.call, res, err)
+}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"kiter/internal/csdf"
+	"kiter/internal/kperiodic"
+	"kiter/internal/symbexec"
+)
+
+// raceOutcome is one contestant's report.
+type raceOutcome struct {
+	method Method
+	res    *ThroughputResult
+	err    error
+	// definitive marks an outcome that settles the race even though it is
+	// an error: a certified deadlock is a final answer, not a failure of
+	// the contestant.
+	definitive bool
+}
+
+// raceThroughput launches K-Iter, the 1-periodic method and symbolic
+// execution concurrently and returns the first certified-optimal result,
+// cancelling the losers. A certified deadlock from any contestant also
+// settles the race. When no contestant certifies optimality, the best
+// surviving bound (the 1-periodic result) is returned with Optimal =
+// false; when every contestant fails, the K-Iter error wins (it is the
+// most informative). skipSymbolic drops the symbolic contestant — used
+// when this job already ran the symbolic analysis and it failed, so a
+// rerun would only replay the same budget exhaustion.
+func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic bool) (*ThroughputResult, error) {
+	raceCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	contestants := []Method{MethodKIter, MethodPeriodic, MethodSymbolic}
+	if skipSymbolic {
+		contestants = contestants[:2]
+	}
+	ch := make(chan raceOutcome, len(contestants))
+	for _, m := range contestants {
+		m := m
+		go func() {
+			out := e.runMethod(raceCtx, g, m)
+			ch <- out
+		}()
+	}
+
+	var fallback *ThroughputResult // non-optimal but valid bound
+	var firstErr error
+	var kiterErr error
+	for range contestants {
+		out := <-ch
+		if out.definitive {
+			cancel()
+			e.stats.raceWin(out.method)
+			return out.res, out.err
+		}
+		if out.err != nil {
+			if contextual(out.err) {
+				// The race itself was cancelled from outside.
+				if err := ctx.Err(); err != nil {
+					cancel()
+					return nil, err
+				}
+				continue
+			}
+			if out.method == MethodKIter {
+				kiterErr = out.err
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		if out.res.Optimal {
+			cancel()
+			e.stats.raceWin(out.method)
+			return out.res, nil
+		}
+		if fallback == nil {
+			fallback = out.res
+		}
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	if kiterErr != nil {
+		return nil, kiterErr
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, errors.New("engine: no contestant produced a result")
+}
+
+// runMethod evaluates the throughput of g with one strategy.
+func (e *Engine) runMethod(ctx context.Context, g *csdf.Graph, m Method) raceOutcome {
+	out := raceOutcome{method: m}
+	switch m {
+	case MethodKIter:
+		res, err := kperiodic.KIterCtx(ctx, g, e.cfg.Options)
+		if err != nil {
+			return kperiodicFailure(out, err)
+		}
+		out.res = fromEvaluation(res.Evaluation, m)
+		out.res.Iterations = res.Iterations
+		return out
+	case MethodPeriodic:
+		ev, err := kperiodic.Evaluate1Ctx(ctx, g, e.cfg.Options)
+		if err != nil {
+			return kperiodicFailure(out, err)
+		}
+		out.res = fromEvaluation(ev, m)
+		return out
+	case MethodExpansion:
+		ev, err := kperiodic.ExpansionCtx(ctx, g, e.cfg.Options)
+		if err != nil {
+			return kperiodicFailure(out, err)
+		}
+		out.res = fromEvaluation(ev, m)
+		return out
+	case MethodSymbolic:
+		res, err := symbexec.RunCtx(ctx, g, e.cfg.Symbolic)
+		if err != nil {
+			out.err = err
+			if errors.Is(err, symbexec.ErrDeadlock) {
+				out.definitive = true
+				out.res = &ThroughputResult{Method: m, Optimal: true, Throughput: "0", Error: err.Error()}
+				out.err = nil
+			}
+			return out
+		}
+		out.res = &ThroughputResult{
+			Period:     res.Period.String(),
+			Throughput: res.Throughput.String(),
+			Float:      res.Throughput.Float(),
+			Optimal:    true, // symbolic execution is exact
+			Method:     m,
+		}
+		return out
+	default:
+		out.err = fmt.Errorf("engine: unknown method %q", m)
+		return out
+	}
+}
+
+// kperiodicFailure classifies a kperiodic error: a certified deadlock is a
+// definitive throughput-zero verdict (it settles a race); anything else
+// stays a contestant failure.
+func kperiodicFailure(out raceOutcome, err error) raceOutcome {
+	var de *kperiodic.DeadlockError
+	if errors.As(err, &de) {
+		out.definitive = true
+		out.res = &ThroughputResult{Method: out.method, Optimal: true, Throughput: "0", Error: err.Error()}
+		return out
+	}
+	out.err = err
+	return out
+}
+
+// fromEvaluation converts a K-periodic evaluation into the wire shape.
+func fromEvaluation(ev *kperiodic.Evaluation, m Method) *ThroughputResult {
+	t := &ThroughputResult{
+		Period:  ev.Period.String(),
+		Optimal: ev.Optimal,
+		Method:  m,
+		K:       ev.K,
+	}
+	if ev.Throughput.Sign() != 0 {
+		t.Throughput = ev.Throughput.String()
+		t.Float = ev.Throughput.Float()
+	}
+	return t
+}
+
+// contextual reports whether err is a context cancellation or deadline.
+func contextual(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,96 @@
+package engine
+
+import "sync/atomic"
+
+// counters holds the engine's hot-path telemetry. Everything is atomic:
+// the serving path never takes a lock to account.
+type counters struct {
+	submitted    atomic.Uint64
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	deduped      atomic.Uint64
+	evaluations  atomic.Uint64
+	errors       atomic.Uint64
+	cancelled    atomic.Uint64
+	rejected     atomic.Uint64
+	latencyNanos atomic.Int64
+	latencyCount atomic.Uint64
+
+	winsKIter    atomic.Uint64
+	winsPeriodic atomic.Uint64
+	winsSymbolic atomic.Uint64
+}
+
+func (c *counters) raceWin(m Method) {
+	switch m {
+	case MethodKIter:
+		c.winsKIter.Add(1)
+	case MethodPeriodic:
+		c.winsPeriodic.Add(1)
+	case MethodSymbolic:
+		c.winsSymbolic.Add(1)
+	}
+}
+
+// Stats is a point-in-time snapshot of the engine's telemetry.
+type Stats struct {
+	// Submitted counts Submit calls; CacheHits the ones answered from the
+	// memo cache; Deduped the ones coalesced onto an in-flight job.
+	Submitted   uint64 `json:"submitted"`
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	Deduped     uint64 `json:"deduped"`
+	// Evaluations counts jobs actually computed by workers.
+	Evaluations uint64 `json:"evaluations"`
+	// Errors counts failed evaluations, Cancelled abandoned ones and
+	// Rejected submissions refused under overload.
+	Errors    uint64 `json:"errors"`
+	Cancelled uint64 `json:"cancelled"`
+	Rejected  uint64 `json:"rejected"`
+	// HitRate is CacheHits / (CacheHits + CacheMisses), in [0, 1].
+	HitRate float64 `json:"hitRate"`
+	// MeanLatencyMS is the mean wall-clock evaluation time.
+	MeanLatencyMS float64 `json:"meanLatencyMs"`
+	// CacheEntries is the current number of memoized results.
+	CacheEntries int `json:"cacheEntries"`
+	// Workers and Pending describe the pool: configured worker count and
+	// jobs submitted but not yet finished; MaxPending is the
+	// load-shedding threshold (0 = unbounded).
+	Workers    int `json:"workers"`
+	Pending    int `json:"pending"`
+	MaxPending int `json:"maxPending"`
+	// RaceWins counts portfolio-race victories per contestant.
+	RaceWins map[string]uint64 `json:"raceWins"`
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	hits := e.stats.cacheHits.Load()
+	misses := e.stats.cacheMisses.Load()
+	s := Stats{
+		Submitted:    e.stats.submitted.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		Deduped:      e.stats.deduped.Load(),
+		Evaluations:  e.stats.evaluations.Load(),
+		Errors:       e.stats.errors.Load(),
+		Cancelled:    e.stats.cancelled.Load(),
+		Rejected:     e.stats.rejected.Load(),
+		CacheEntries: e.cache.len(),
+		Workers:      e.cfg.Workers,
+		Pending:      int(e.pending.Load()),
+		MaxPending:   max(e.cfg.MaxPending, 0),
+		RaceWins: map[string]uint64{
+			string(MethodKIter):    e.stats.winsKIter.Load(),
+			string(MethodPeriodic): e.stats.winsPeriodic.Load(),
+			string(MethodSymbolic): e.stats.winsSymbolic.Load(),
+		},
+	}
+	if hits+misses > 0 {
+		s.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if n := e.stats.latencyCount.Load(); n > 0 {
+		s.MeanLatencyMS = float64(e.stats.latencyNanos.Load()) / float64(n) / 1e6
+	}
+	return s
+}

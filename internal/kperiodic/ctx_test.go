@@ -1,0 +1,58 @@
+package kperiodic_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kiter/internal/gen"
+	"kiter/internal/kperiodic"
+)
+
+func TestKIterCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := kperiodic.KIterCtx(ctx, gen.Figure2(), kperiodic.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil && res.Evaluation != nil {
+		t.Fatal("cancelled run produced an evaluation")
+	}
+}
+
+func TestEvaluateKCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := kperiodic.Evaluate1Ctx(ctx, gen.Figure2(), kperiodic.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestScheduleKCtxCancelled(t *testing.T) {
+	g := gen.Figure2()
+	K := make([]int64, g.NumTasks())
+	for i := range K {
+		K[i] = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := kperiodic.ScheduleKCtx(ctx, g, K, kperiodic.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The background-context wrappers must behave exactly as before.
+func TestKIterCtxMatchesKIter(t *testing.T) {
+	want, err := kperiodic.KIter(gen.Figure2(), kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := kperiodic.KIterCtx(context.Background(), gen.Figure2(), kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Period.Cmp(got.Period) != 0 || want.Iterations != got.Iterations {
+		t.Fatalf("KIterCtx diverged: %v vs %v", got.Evaluation, want.Evaluation)
+	}
+}

@@ -1,6 +1,7 @@
 package kperiodic
 
 import (
+	"context"
 	"errors"
 	"math/big"
 
@@ -19,13 +20,19 @@ type evaluation struct {
 	deadlock []PhaseRef
 }
 
-// solveK builds the bi-valued graph for (g, q, K) and solves the MCRP.
-func solveK(g *csdf.Graph, q, K []int64, opt Options) (*evaluation, error) {
+// solveK builds the bi-valued graph for (g, q, K) and solves the MCRP. The
+// context is polled during constraint generation (the dominating cost), so
+// a cancelled ctx aborts mid-expansion rather than after it.
+func solveK(ctx context.Context, g *csdf.Graph, q, K []int64, opt Options) (*evaluation, error) {
 	b, err := newBuilder(g, q, K, opt)
 	if err != nil {
 		return nil, err
 	}
+	b.ctx = ctx
 	if err := b.build(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	res, err := mcr.Solve(b.mg, mcr.Options{SkipCertify: opt.SkipCertify})
@@ -82,11 +89,18 @@ var bigOne = big.NewInt(1)
 // the multiplicity condition; otherwise EvaluateK reports the infeasibility
 // as ErrInfeasibleK, since a larger K may still admit a schedule.
 func EvaluateK(g *csdf.Graph, K []int64, opt Options) (*Evaluation, error) {
+	return EvaluateKCtx(context.Background(), g, K, opt)
+}
+
+// EvaluateKCtx is EvaluateK with cancellation: when ctx is cancelled the
+// evaluation aborts (also inside the pair-enumeration inner loop) and the
+// context's error is returned.
+func EvaluateKCtx(ctx context.Context, g *csdf.Graph, K []int64, opt Options) (*Evaluation, error) {
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return nil, err
 	}
-	ev, err := solveK(g, q, K, opt)
+	ev, err := solveK(ctx, g, q, K, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -120,11 +134,16 @@ func (e *ErrInfeasibleK) Error() string {
 // bound on the maximum throughput); Optimal reports whether it is provably
 // tight.
 func Evaluate1(g *csdf.Graph, opt Options) (*Evaluation, error) {
+	return Evaluate1Ctx(context.Background(), g, opt)
+}
+
+// Evaluate1Ctx is Evaluate1 with cancellation.
+func Evaluate1Ctx(ctx context.Context, g *csdf.Graph, opt Options) (*Evaluation, error) {
 	K := make([]int64, g.NumTasks())
 	for i := range K {
 		K[i] = 1
 	}
-	return EvaluateK(g, K, opt)
+	return EvaluateKCtx(ctx, g, K, opt)
 }
 
 // Expansion evaluates with K = q, the repetition vector: the classical
@@ -134,11 +153,16 @@ func Evaluate1(g *csdf.Graph, opt Options) (*Evaluation, error) {
 // Σ qt rather than the instance size. It is the optimal baseline of
 // Table 1.
 func Expansion(g *csdf.Graph, opt Options) (*Evaluation, error) {
+	return ExpansionCtx(context.Background(), g, opt)
+}
+
+// ExpansionCtx is Expansion with cancellation.
+func ExpansionCtx(ctx context.Context, g *csdf.Graph, opt Options) (*Evaluation, error) {
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return nil, err
 	}
-	return EvaluateK(g, q, opt)
+	return EvaluateKCtx(ctx, g, q, opt)
 }
 
 // optimalityTest implements Theorem 4: for the tasks of a critical circuit

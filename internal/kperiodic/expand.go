@@ -1,6 +1,7 @@
 package kperiodic
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -28,7 +29,8 @@ type builder struct {
 	offset []int // node index of ⟨t1,1⟩ per task
 	nodes  int
 	mg     *mcr.Graph
-	seq    bool // add implicit sequential self-loops
+	seq    bool            // add implicit sequential self-loops
+	ctx    context.Context // polled during pair enumeration; nil = never cancelled
 }
 
 func newBuilder(g *csdf.Graph, q, K []int64, opt Options) (*builder, error) {
@@ -183,6 +185,14 @@ func (b *builder) addBufferArcs(buf *csdf.Buffer) error {
 
 	neg := new(big.Int)
 	for p := 1; p <= nS; p++ {
+		// One cancellation poll per source phase row: each row costs
+		// O(nD) arc insertions, so the poll is amortized while still
+		// bounding the latency of a cancel to a single row.
+		if b.ctx != nil {
+			if err := b.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		inP := buf.In[(p-1)%phiS]
 		l := b.duration(src, p)
 		from := b.node(src, p)

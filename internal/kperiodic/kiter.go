@@ -1,6 +1,7 @@
 package kperiodic
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -48,6 +49,15 @@ const defaultMaxIterations = 10000
 // the graph is declared dead (*DeadlockError), otherwise K grows and the
 // loop continues.
 func KIter(g *csdf.Graph, opt Options) (*KIterResult, error) {
+	return KIterCtx(context.Background(), g, opt)
+}
+
+// KIterCtx is KIter with cancellation: the context is polled at every
+// Algorithm 1 round and inside each round's bi-valued-graph expansion, so a
+// long analysis stops promptly once the caller gives up. On cancellation
+// the partial result (the trace of completed rounds) is returned together
+// with the context's error.
+func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, error) {
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return nil, err
@@ -65,8 +75,11 @@ func KIter(g *csdf.Graph, opt Options) (*KIterResult, error) {
 
 	result := &KIterResult{}
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return result, err
+		}
 		result.Iterations = iter + 1
-		ev, err := solveK(g, q, K, inner)
+		ev, err := solveK(ctx, g, q, K, inner)
 		if err != nil {
 			return result, err
 		}

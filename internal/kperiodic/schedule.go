@@ -1,6 +1,7 @@
 package kperiodic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -40,12 +41,17 @@ func (s *Schedule) StartOf(t csdf.TaskID, p int, n int64) rat.Rat {
 // materializes an optimal feasible schedule: start times are the exact
 // longest-path potentials of the bi-valued graph at the optimal period.
 func ScheduleK(g *csdf.Graph, K []int64, opt Options) (*Schedule, error) {
+	return ScheduleKCtx(context.Background(), g, K, opt)
+}
+
+// ScheduleKCtx is ScheduleK with cancellation.
+func ScheduleKCtx(ctx context.Context, g *csdf.Graph, K []int64, opt Options) (*Schedule, error) {
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return nil, err
 	}
 	opt.SkipCertify = false // exact potentials need the exact period
-	ev, err := solveK(g, q, K, opt)
+	ev, err := solveK(ctx, g, q, K, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@
 package sizing
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -64,11 +65,17 @@ func TradeOff(g *csdf.Graph, scales []int64, opt kperiodic.Options) ([]Point, er
 // warm-up iteration for safety), so they are feasible by construction —
 // generally much tighter than worst-case bounds.
 func OptimalCapacities(g *csdf.Graph, opt kperiodic.Options) ([]int64, rat.Rat, error) {
-	res, err := kperiodic.KIter(g, opt)
+	return OptimalCapacitiesCtx(context.Background(), g, opt)
+}
+
+// OptimalCapacitiesCtx is OptimalCapacities with cancellation (through the
+// underlying K-Iter and schedule construction).
+func OptimalCapacitiesCtx(ctx context.Context, g *csdf.Graph, opt kperiodic.Options) ([]int64, rat.Rat, error) {
+	res, err := kperiodic.KIterCtx(ctx, g, opt)
 	if err != nil {
 		return nil, rat.Rat{}, err
 	}
-	s, err := kperiodic.ScheduleK(g, res.K, opt)
+	s, err := kperiodic.ScheduleKCtx(ctx, g, res.K, opt)
 	if err != nil {
 		return nil, rat.Rat{}, err
 	}

@@ -1,0 +1,42 @@
+package symbexec_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kiter/internal/gen"
+	"kiter/internal/symbexec"
+)
+
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := symbexec.RunCtx(ctx, gen.Figure2(), symbexec.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxCancelledDecomposed(t *testing.T) {
+	// A multi-SCC graph exercises the decomposed path's propagation.
+	g := gen.SampleRateConverter()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := symbexec.RunCtx(ctx, g, symbexec.Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCtxMatchesRun(t *testing.T) {
+	want, err := symbexec.Run(gen.Figure2(), symbexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := symbexec.RunCtx(context.Background(), gen.Figure2(), symbexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Period.Cmp(got.Period) != 0 {
+		t.Fatalf("RunCtx period %s, want %s", got.Period, want.Period)
+	}
+}

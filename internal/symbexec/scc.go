@@ -1,6 +1,7 @@
 package symbexec
 
 import (
+	"context"
 	"fmt"
 
 	"kiter/internal/csdf"
@@ -116,10 +117,13 @@ func subgraph(g *csdf.Graph, tasks []csdf.TaskID) (*csdf.Graph, []csdf.TaskID) {
 // the maximum over the components' isolated normalized periods. Each
 // component period is rescaled from the component-local repetition vector
 // to the global one.
-func runDecomposed(g *csdf.Graph, q []int64, comps [][]csdf.TaskID, opt Options) (*Result, error) {
+func runDecomposed(ctx context.Context, g *csdf.Graph, q []int64, comps [][]csdf.TaskID, opt Options) (*Result, error) {
 	best := &Result{}
 	haveBest := false
 	for _, comp := range comps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var compRes *Result
 		sub, newToOld := subgraph(g, comp)
 		if sub.NumBuffers() == 0 {
@@ -135,7 +139,7 @@ func runDecomposed(g *csdf.Graph, q []int64, comps [][]csdf.TaskID, opt Options)
 			subOpt := opt
 			subOpt.Reference = 0
 			subOpt.TraceHorizon = 0
-			r, err := runRecurrence(sub, subOpt)
+			r, err := runRecurrence(ctx, sub, subOpt)
 			if err != nil {
 				return nil, err
 			}

@@ -15,6 +15,7 @@
 package symbexec
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -86,7 +87,8 @@ type taskState struct {
 type engine struct {
 	g        *csdf.Graph
 	opt      Options
-	tokens   []int64 // per buffer
+	ctx      context.Context // polled in the event loop; nil = never cancelled
+	tokens   []int64         // per buffer
 	tasks    []taskState
 	inBufs   [][]csdf.BufferID // buffers consumed by task
 	outBufs  [][]csdf.BufferID // buffers produced by task
@@ -98,6 +100,7 @@ type engine struct {
 	q        []int64
 	maxEv    int64
 	maxState int
+	steps    int // event-loop rounds, for amortized cancellation polls
 }
 
 type seenInfo struct {
@@ -116,6 +119,14 @@ type seenInfo struct {
 // execute than the whole, and components with unbounded mutual drift would
 // otherwise never revisit a state).
 func Run(g *csdf.Graph, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), g, opt)
+}
+
+// RunCtx is Run with cancellation: the context is polled inside the
+// self-timed event loop (every few hundred rounds), so a state-space
+// explosion stops promptly once the caller gives up instead of running to
+// its event budget.
+func RunCtx(ctx context.Context, g *csdf.Graph, opt Options) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -128,16 +139,16 @@ func Run(g *csdf.Graph, opt Options) (*Result, error) {
 	}
 	comps := taskSCCs(g)
 	if len(comps) > 1 {
-		return runDecomposed(g, q, comps, opt)
+		return runDecomposed(ctx, g, q, comps, opt)
 	}
-	return runRecurrence(g, opt)
+	return runRecurrence(ctx, g, opt)
 }
 
 // runRecurrence executes g self-timed until a state recurrence reveals the
 // periodic regime. The self-timed state space must be bounded (guaranteed
 // for strongly connected consistent graphs); otherwise the exploration
 // budget trips.
-func runRecurrence(g *csdf.Graph, opt Options) (*Result, error) {
+func runRecurrence(ctx context.Context, g *csdf.Graph, opt Options) (*Result, error) {
 	q, err := g.RepetitionVector()
 	if err != nil {
 		return nil, err
@@ -145,6 +156,7 @@ func runRecurrence(g *csdf.Graph, opt Options) (*Result, error) {
 	e := &engine{
 		g:        g,
 		opt:      opt,
+		ctx:      ctx,
 		tokens:   make([]int64, g.NumBuffers()),
 		tasks:    make([]taskState, g.NumTasks()),
 		inBufs:   make([][]csdf.BufferID, g.NumTasks()),
@@ -172,6 +184,15 @@ func runRecurrence(g *csdf.Graph, opt Options) (*Result, error) {
 func (e *engine) run() (*Result, error) {
 	ref := csdf.TaskID(e.opt.Reference)
 	for {
+		// Amortized cancellation poll: one ctx.Err() per 256 event-loop
+		// rounds (starting with the first, so a dead context is caught
+		// before any work) keeps the overhead invisible next to the
+		// O(tasks) scan each round already performs.
+		if e.steps++; e.ctx != nil && e.steps&0xff == 1 {
+			if err := e.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// Snapshot at reference-iteration boundaries, before re-arming:
 		// the sampling instant is deterministic, so in the periodic
 		// regime the sampled state recurs.

@@ -30,6 +30,7 @@
 package kiter
 
 import (
+	"context"
 	"io"
 
 	"kiter/internal/csdf"
@@ -96,6 +97,24 @@ func Throughput(g *Graph) (*Result, error) {
 func ThroughputWith(g *Graph, opt Options) (*Result, error) {
 	return kperiodic.KIter(g, opt)
 }
+
+// ThroughputCtx is Throughput with cancellation: the context is polled in
+// the K-Iter loop and inside each round's graph expansion, so a long
+// analysis stops promptly once the caller gives up.
+func ThroughputCtx(ctx context.Context, g *Graph, opt Options) (*Result, error) {
+	return kperiodic.KIterCtx(ctx, g, opt)
+}
+
+// ThroughputSymbolicCtx is ThroughputSymbolic with cancellation.
+func ThroughputSymbolicCtx(ctx context.Context, g *Graph, opt SymbolicOptions) (*SymbolicResult, error) {
+	return symbexec.RunCtx(ctx, g, opt)
+}
+
+// Fingerprint returns the canonical structural hash of g as a hex string:
+// two graphs share it exactly when they are structurally identical
+// (names excluded). It is the memoization key used by the analysis engine
+// behind the kiterd server.
+func Fingerprint(g *Graph) string { return g.FingerprintHex() }
 
 // ThroughputPeriodic runs the 1-periodic approximate method [Bodin et al.,
 // ESTIMedia'13]: fast, but the returned throughput is only a lower bound
