@@ -1,0 +1,133 @@
+// Command benchjson runs the tracked performance suite (the same
+// internal/bench.PerfCases behind `go test -bench BenchmarkKIter`) through
+// testing.Benchmark and writes a machine-readable JSON record of the K-Iter
+// hot path: ns/op, bytes/op, allocs/op per case, plus the Algorithm 1 meta
+// counters (convergence rounds, expansion size, arcs recomputed vs. replayed
+// by the incremental block cache).
+//
+//	benchjson                                    # writes bench.json
+//	benchjson -o BENCH_pr3.json -baseline BENCH_pr2.json
+//
+// With -baseline, the previous report's "after" numbers are carried into
+// the new report's "before" fields (matching cases by name), so a checked-in
+// BENCH_*.json documents one optimization step as a before/after pair and
+// the series of files records the perf trajectory across PRs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"kiter/internal/bench"
+	"kiter/internal/kperiodic"
+)
+
+// Metrics is one measurement triple from testing.Benchmark.
+type Metrics struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// CaseResult is one perf case's record.
+type CaseResult struct {
+	Name       string          `json:"name"`
+	MultiRound bool            `json:"multi_round"`
+	KIter      bench.KIterMeta `json:"kiter"`
+	Before     *Metrics        `json:"before,omitempty"`
+	After      Metrics         `json:"after"`
+	// SpeedupNs and AllocsRatio are before/after quotients (>1 = improved),
+	// present only when a baseline was supplied.
+	SpeedupNs   float64 `json:"speedup_ns,omitempty"`
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+}
+
+// Report is the BENCH_*.json document.
+type Report struct {
+	Label     string       `json:"label"`
+	GoVersion string       `json:"go_version"`
+	GOARCH    string       `json:"goarch"`
+	Cases     []CaseResult `json:"cases"`
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "bench.json", "output path (checked-in reports are written explicitly, e.g. -o BENCH_pr3.json)")
+		baseline = flag.String("baseline", "", "previous BENCH_*.json whose after-numbers become this report's before-numbers")
+		label    = flag.String("label", "kiter-hot-path", "report label")
+	)
+	flag.Parse()
+	if err := run(*out, *baseline, *label); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, baseline, label string) error {
+	before := map[string]Metrics{}
+	if baseline != "" {
+		buf, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		var prev Report
+		if err := json.Unmarshal(buf, &prev); err != nil {
+			return fmt.Errorf("decoding baseline %s: %w", baseline, err)
+		}
+		for _, c := range prev.Cases {
+			before[c.Name] = c.After
+		}
+	}
+
+	rep := Report{Label: label, GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+	opt := bench.Limits{}.KIterOptions()
+	for _, pc := range bench.PerfCases() {
+		g := pc.Build()
+		meta, err := bench.MeasureKIter(g)
+		if err != nil {
+			return fmt.Errorf("case %s: %w", pc.Name, err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kperiodic.KIter(g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cr := CaseResult{
+			Name:       pc.Name,
+			MultiRound: pc.MultiRound,
+			KIter:      meta,
+			After: Metrics{
+				NsOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+				BytesOp:  res.AllocedBytesPerOp(),
+				AllocsOp: res.AllocsPerOp(),
+			},
+		}
+		if b, ok := before[pc.Name]; ok {
+			bb := b
+			cr.Before = &bb
+			if cr.After.NsOp > 0 {
+				cr.SpeedupNs = bb.NsOp / cr.After.NsOp
+			}
+			if cr.After.AllocsOp > 0 {
+				cr.AllocsRatio = float64(bb.AllocsOp) / float64(cr.After.AllocsOp)
+			}
+		}
+		fmt.Printf("%-12s %12.0f ns/op %10d B/op %8d allocs/op  rounds=%d built=%d reused=%d\n",
+			pc.Name, cr.After.NsOp, cr.After.BytesOp, cr.After.AllocsOp,
+			meta.Rounds, meta.ArcsBuilt, meta.ArcsReused)
+		rep.Cases = append(rep.Cases, cr)
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(out, buf, 0o644)
+}

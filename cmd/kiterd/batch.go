@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"io/fs"
@@ -11,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kiter/internal/engine"
@@ -84,12 +86,54 @@ type batchLine struct {
 	err  error
 }
 
+// ndjsonLine is the JSON shape of one streamed batch result.
+type ndjsonLine struct {
+	Path   string         `json:"path"`
+	Error  string         `json:"error,omitempty"`
+	Result *engine.Result `json:"result,omitempty"`
+}
+
+// ndjsonSummary closes an NDJSON stream with the batch totals.
+type ndjsonSummary struct {
+	Summary struct {
+		Graphs    int          `json:"graphs"`
+		Failed    int          `json:"failed"`
+		ElapsedMS float64      `json:"elapsed_ms"`
+		Stats     engine.Stats `json:"stats"`
+	} `json:"summary"`
+}
+
 // runBatch streams every graph through the engine in parallel, printing
-// one line per graph in input order plus a closing stats summary. Graphs
-// that fail to load or analyze are reported but do not abort the batch;
-// the returned error counts them.
-func runBatch(e *engine.Engine, paths []string, tmpl requestTemplate, out io.Writer) error {
-	lines := make([]batchLine, len(paths))
+// one line per graph in input order plus a closing stats summary. With
+// ndjson, results are instead emitted as one JSON object per line in
+// completion order, the moment each job finishes — a pipeline consumer
+// sees the first result while the batch is still running — followed by a
+// single {"summary": …} line. Graphs that fail to load or analyze are
+// reported but do not abort the batch; the returned error counts them.
+func runBatch(e *engine.Engine, paths []string, tmpl requestTemplate, out io.Writer, ndjson bool) error {
+	// Input-order printing needs every result; the NDJSON stream does not,
+	// so in that mode results are dropped as soon as they are written — a
+	// sweep batch holds O(in-flight) results, not O(batch).
+	var lines []batchLine
+	if !ndjson {
+		lines = make([]batchLine, len(paths))
+	}
+	var ndjsonFailed atomic.Int64
+	var outMu sync.Mutex
+	emit := func(l batchLine) {
+		nl := ndjsonLine{Path: l.path, Result: l.res}
+		if l.err != nil {
+			nl.Error = l.err.Error()
+		}
+		buf, err := json.Marshal(nl)
+		if err != nil {
+			buf, _ = json.Marshal(ndjsonLine{Path: l.path, Error: err.Error()})
+		}
+		outMu.Lock()
+		defer outMu.Unlock()
+		out.Write(buf)
+		io.WriteString(out, "\n")
+	}
 	// The engine's worker pool bounds compute; this semaphore, acquired
 	// before each goroutine is spawned, bounds live submitter goroutines
 	// (and therefore in-flight jobs) below the engine's load-shedding
@@ -110,13 +154,21 @@ func runBatch(e *engine.Engine, paths []string, tmpl requestTemplate, out io.Wri
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			lines[i] = analyzeFile(e, path, tmpl)
+			l := analyzeFile(e, path, tmpl)
+			if ndjson {
+				if l.err != nil {
+					ndjsonFailed.Add(1)
+				}
+				emit(l)
+				return
+			}
+			lines[i] = l
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	failed := 0
+	failed := int(ndjsonFailed.Load())
 	for _, l := range lines {
 		if l.err != nil {
 			failed++
@@ -126,8 +178,21 @@ func runBatch(e *engine.Engine, paths []string, tmpl requestTemplate, out io.Wri
 		fmt.Fprintf(out, "%-40s %s\n", filepath.Base(l.path), formatResult(l.res))
 	}
 	s := e.Stats()
-	fmt.Fprintf(out, "\nbatch: %d graphs in %v (%d evaluated, %d cache hits, %d deduped, hit rate %.0f%%, mean eval %.1fms)\n",
-		len(paths), elapsed.Round(time.Millisecond), s.Evaluations, s.CacheHits, s.Deduped, 100*s.HitRate, s.MeanLatencyMS)
+	if ndjson {
+		var sum ndjsonSummary
+		sum.Summary.Graphs = len(paths)
+		sum.Summary.Failed = failed
+		sum.Summary.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+		sum.Summary.Stats = s
+		buf, err := json.Marshal(sum)
+		if err == nil {
+			out.Write(buf)
+			io.WriteString(out, "\n")
+		}
+	} else {
+		fmt.Fprintf(out, "\nbatch: %d graphs in %v (%d evaluated, %d cache hits, %d deduped, hit rate %.0f%%, mean eval %.1fms)\n",
+			len(paths), elapsed.Round(time.Millisecond), s.Evaluations, s.CacheHits, s.Deduped, 100*s.HitRate, s.MeanLatencyMS)
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d graphs failed", failed, len(paths))
 	}

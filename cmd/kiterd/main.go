@@ -18,6 +18,13 @@
 //	kiterd -batch manifest.txt -method kiter -analyses throughput,schedule
 //	kiterd -batch-suite mimicdsp -batch-count 20 -batch-dir /tmp/suite
 //
+// With -ndjson, batch mode streams results as newline-delimited JSON in
+// completion order — one {"path", "result"} object per line the moment
+// each job finishes, then a closing {"summary": …} line — so downstream
+// pipeline stages start consuming before the batch ends:
+//
+//	kiterd -batch graphs/ -ndjson | jq .result.throughput.period
+//
 // Usage:
 //
 //	kiterd [-addr :8080] [-workers N] [-cache N] [-method race]
@@ -68,6 +75,7 @@ func run() error {
 		batchCount = flag.Int("batch-count", 20, "graphs to generate with -batch-suite")
 		batchSeed  = flag.Int64("batch-seed", 1, "generation seed for -batch-suite")
 		batchDir   = flag.String("batch-dir", "", "directory to materialize -batch-suite graphs into (default: temp dir)")
+		ndjson     = flag.Bool("ndjson", false, "batch mode: stream one JSON result line per graph as jobs finish, plus a summary line")
 	)
 	flag.Parse()
 
@@ -119,13 +127,13 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runBatch(e, paths, tmpl, os.Stdout)
+		return runBatch(e, paths, tmpl, os.Stdout, *ndjson)
 	case *batch != "":
 		paths, err := collectBatchPaths(*batch)
 		if err != nil {
 			return err
 		}
-		return runBatch(e, paths, tmpl, os.Stdout)
+		return runBatch(e, paths, tmpl, os.Stdout, *ndjson)
 	default:
 		srv := newServer(e, tmpl)
 		fmt.Printf("kiterd: listening on %s (%d workers)\n", *addr, e.Stats().Workers)

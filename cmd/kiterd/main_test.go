@@ -159,7 +159,7 @@ func TestBatchEndToEnd(t *testing.T) {
 	tmpl.Method = engine.MethodKIter
 
 	var out bytes.Buffer
-	if err := runBatch(e, paths, tmpl, &out); err != nil {
+	if err := runBatch(e, paths, tmpl, &out, false); err != nil {
 		t.Fatalf("runBatch: %v\n%s", err, out.String())
 	}
 	if got := strings.Count(out.String(), "Ω ="); got != len(paths) {
@@ -171,11 +171,73 @@ func TestBatchEndToEnd(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := runBatch(e, paths, tmpl, &out); err != nil {
+	if err := runBatch(e, paths, tmpl, &out, false); err != nil {
 		t.Fatalf("second runBatch: %v", err)
 	}
 	if got := strings.Count(out.String(), "[cached]"); got != len(paths) {
 		t.Fatalf("second pass had %d cache hits for %d graphs:\n%s", got, len(paths), out.String())
+	}
+}
+
+// TestBatchNDJSON checks the streaming output contract: one parseable
+// JSON object per graph carrying path and result, a single closing
+// summary line, and failures reported inline rather than aborting.
+func TestBatchNDJSON(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := gen.WriteSuite(dir, gen.ActualDSP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, filepath.Join(dir, "missing.json"))
+
+	e := engine.New(engine.Config{Workers: 4})
+	t.Cleanup(e.Close)
+	tmpl := testTemplate()
+	tmpl.Method = engine.MethodKIter
+
+	var out bytes.Buffer
+	err = runBatch(e, paths, tmpl, &out, true)
+	if err == nil || !strings.Contains(err.Error(), "1 of") {
+		t.Fatalf("missing graph not counted: err=%v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(paths)+1 {
+		t.Fatalf("got %d NDJSON lines for %d graphs (+1 summary):\n%s", len(lines), len(paths), out.String())
+	}
+	seen := map[string]bool{}
+	failures := 0
+	for _, line := range lines[:len(lines)-1] {
+		var nl ndjsonLine
+		if err := json.Unmarshal([]byte(line), &nl); err != nil {
+			t.Fatalf("unparseable NDJSON line %q: %v", line, err)
+		}
+		if nl.Path == "" {
+			t.Fatalf("line without path: %q", line)
+		}
+		seen[nl.Path] = true
+		if nl.Error != "" {
+			failures++
+			continue
+		}
+		if nl.Result == nil || nl.Result.Throughput == nil || !nl.Result.Throughput.Optimal {
+			t.Fatalf("line without optimal throughput result: %q", line)
+		}
+	}
+	if len(seen) != len(paths) {
+		t.Fatalf("streamed %d distinct paths, want %d", len(seen), len(paths))
+	}
+	if failures != 1 {
+		t.Fatalf("streamed %d failures, want 1", failures)
+	}
+	var sum ndjsonSummary
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
+		t.Fatalf("unparseable summary %q: %v", lines[len(lines)-1], err)
+	}
+	if sum.Summary.Graphs != len(paths) || sum.Summary.Failed != 1 {
+		t.Fatalf("summary = %+v, want %d graphs / 1 failed", sum.Summary, len(paths))
+	}
+	if sum.Summary.Stats.Evaluations == 0 {
+		t.Fatal("summary carries no engine stats")
 	}
 }
 
@@ -206,7 +268,7 @@ func TestBatchManifestAndErrors(t *testing.T) {
 	e := engine.New(engine.Config{Workers: 2})
 	t.Cleanup(e.Close)
 	var out bytes.Buffer
-	err = runBatch(e, got, testTemplate(), &out)
+	err = runBatch(e, got, testTemplate(), &out, false)
 	if err == nil || !strings.Contains(err.Error(), "1 of") {
 		t.Fatalf("missing graph not reported: err=%v\n%s", err, out.String())
 	}

@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"kiter/internal/kperiodic"
+)
+
+// BenchmarkKIter tracks the Algorithm 1 hot path over the perf suite
+// (PerfCases): single-round sanity cases plus the multi-round KIterChain
+// family that exercises the incremental expansion. cmd/benchjson runs the
+// same cases to regenerate BENCH_*.json.
+func BenchmarkKIter(b *testing.B) {
+	for _, pc := range PerfCases() {
+		b.Run(pc.Name, func(b *testing.B) {
+			g := pc.Build()
+			opt := Limits{}.kiterOptions()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := kperiodic.KIter(g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluate1 tracks the single-round 1-periodic evaluation — the
+// floor the incremental machinery must not regress.
+func BenchmarkEvaluate1(b *testing.B) {
+	for _, pc := range PerfCases() {
+		b.Run(pc.Name, func(b *testing.B) {
+			g := pc.Build()
+			opt := Limits{}.kiterOptions()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := kperiodic.Evaluate1(g, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

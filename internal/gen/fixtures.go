@@ -13,6 +13,8 @@
 package gen
 
 import (
+	"fmt"
+
 	"kiter/internal/csdf"
 )
 
@@ -150,5 +152,37 @@ func MultiRateCycle() *csdf.Graph {
 	g.AddSDFBuffer("A->B", a, b, 2, 3, 0)
 	g.AddSDFBuffer("B->C", b, c, 3, 1, 0)
 	g.AddSDFBuffer("C->A", c, a, 1, 2, 7)
+	return g
+}
+
+// KIterChain returns a chain of n Figure-2-style gadgets linked by loose
+// unit-rate buffers. Every gadget carries its own pair of competing
+// circuits whose 1-periodic bounds interleave across gadgets, so Algorithm
+// 1 resolves them one critical circuit at a time: K-Iter needs on the
+// order of 2n rounds, and each round bumps the periodicity of a single
+// gadget's tasks while the rest of the expansion is unchanged. The family
+// is the multi-round stress case of the incremental-expansion benchmarks
+// (BENCH_pr2.json): n = 8 converges in 17 rounds over a 200-node
+// bi-valued graph.
+func KIterChain(n int) *csdf.Graph {
+	g := csdf.NewGraph(fmt.Sprintf("kiter-chain-%d", n))
+	var prevD csdf.TaskID
+	for i := 0; i < n; i++ {
+		a := g.AddTask(fmt.Sprintf("A%d", i), []int64{10, 10})
+		b := g.AddTask(fmt.Sprintf("B%d", i), []int64{10, 10, 10})
+		c := g.AddTask(fmt.Sprintf("C%d", i), []int64{10})
+		d := g.AddTask(fmt.Sprintf("D%d", i), []int64{10})
+		g.AddBuffer("", a, b, []int64{3, 5}, []int64{1, 1, 4}, 0)
+		g.AddBuffer("", b, c, []int64{6, 2, 1}, []int64{6}, 0)
+		g.AddBuffer("", c, a, []int64{2}, []int64{1, 3}, 4)
+		g.AddBuffer("", a, d, []int64{3, 5}, []int64{24}, 13)
+		g.AddBuffer("", d, c, []int64{36}, []int64{6}, 6)
+		if i > 0 {
+			// Loose forward link: enough tokens never to constrain the
+			// steady state, present only to make the graph connected.
+			g.AddSDFBuffer("", prevD, d, 1, 1, 100)
+		}
+		prevD = d
+	}
 	return g
 }

@@ -29,13 +29,22 @@ func solveK(ctx context.Context, g *csdf.Graph, q, K []int64, opt Options) (*eva
 		return nil, err
 	}
 	b.ctx = ctx
+	return resolve(ctx, b, mcr.NewSolver(), opt)
+}
+
+// resolve brings the builder's constraint graph up to date and solves the
+// MCRP with the given (reusable) solver. K-Iter calls it once per round
+// with the same builder and solver, which is what makes repeated rounds
+// cheap: unchanged arc blocks are replayed and the solver's scratch is
+// recycled.
+func resolve(ctx context.Context, b *builder, s *mcr.Solver, opt Options) (*evaluation, error) {
 	if err := b.build(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := mcr.Solve(b.mg, mcr.Options{SkipCertify: opt.SkipCertify})
+	res, err := s.SolveCtx(ctx, b.mg, mcr.Options{SkipCertify: opt.SkipCertify})
 	if err != nil {
 		var de *mcr.DeadlockError
 		if errors.As(err, &de) {
@@ -53,19 +62,19 @@ func solveK(ctx context.Context, g *csdf.Graph, q, K []int64, opt Options) (*eva
 	return &evaluation{b: b, res: res}, nil
 }
 
-// toEvaluation converts a solved MCRP into the public Evaluation: the
-// expanded period Ω_G̃ equals the maximum ratio, and Theorem 3 normalizes
-// it to Ω_G = Ω_G̃/lcm(K).
+// toEvaluation converts a solved MCRP into the public Evaluation. The
+// builder stores H weights in the lcm-free normalization, so the maximum
+// ratio already is the Theorem 3 normalized period Ω_G = Ω_G̃/lcm(K).
 func (ev *evaluation) toEvaluation() *Evaluation {
 	b := ev.b
 	out := &Evaluation{
 		K:         append([]int64(nil), b.K...),
-		LcmK:      b.lcmK,
+		LcmK:      new(big.Int).Set(b.lcmK),
 		Certified: ev.res.Certified,
 		Nodes:     b.mg.NumNodes(),
 		Arcs:      b.mg.NumArcs(),
 	}
-	out.Period = ev.res.Ratio.Mul(rat.FromBigInts(bigOne, b.lcmK))
+	out.Period = ev.res.Ratio
 	if out.Period.Sign() > 0 {
 		out.Throughput = out.Period.Inv()
 	}
@@ -75,8 +84,6 @@ func (ev *evaluation) toEvaluation() *Evaluation {
 	out.CriticalTasks = uniqueTasks(out.Critical)
 	return out
 }
-
-var bigOne = big.NewInt(1)
 
 // EvaluateK computes the minimum period over all feasible K-periodic
 // schedules of g with the fixed periodicity vector K (Theorems 2 and 3).

@@ -17,10 +17,19 @@ import (
 // p ∈ {1, …, Kt·ϕ(t)}. For every buffer b = (t, t′) and every useful pair
 // (p, p′) — those with α(p,p′) ≤ β(p,p′) (Theorem 2) — an arc carries
 //
-//	L = d̃(tp)            (the expanded phase duration)
-//	H = −β(p,p′)/(q̃t·ĩb) (an exact rational; q̃t·ĩb = qt·ib·lcm(K))
+//	L = d̃(tp)        (the expanded phase duration)
+//	H = −β(p,p′)/(qt·ib) (an exact rational)
 //
-// so that the minimum period of G̃ equals the maximum cost-to-time ratio.
+// The H weights are stored in the lcm-free normalization: the paper's
+// weight is −β/(q̃t·ĩb) with q̃t·ĩb = qt·ib·lcm(K), and Theorem 3 then
+// divides the resulting period by lcm(K) again. Scaling every H of the
+// graph by the constant lcm(K) > 0 leaves critical circuits, deadlock
+// certificates and Bellman–Ford potentials untouched while making the
+// maximum cost-to-time ratio directly equal to the normalized period Ω_G.
+// Crucially it also makes every buffer's arc set depend only on the K of
+// its two endpoint tasks, which is what lets the builder cache per-buffer
+// arc blocks across K-Iter rounds and rebuild only the blocks whose
+// endpoint periodicity changed.
 type builder struct {
 	g      *csdf.Graph
 	q      []int64
@@ -31,41 +40,103 @@ type builder struct {
 	mg     *mcr.Graph
 	seq    bool            // add implicit sequential self-loops
 	ctx    context.Context // polled during pair enumeration; nil = never cancelled
+	opt    Options         // size budgets, re-checked on every setK
+
+	bufBlocks []arcBlock // per-buffer cached constraint arcs
+	seqBlocks []arcBlock // per-task cached sequential arcs (seq only)
+	cumI      []int64    // pair-enumeration scratch
+	cumO      []int64
+	stats     buildStats
+}
+
+// buildStats counts the incremental work of the latest build call.
+type buildStats struct {
+	arcsBuilt  int // arcs recomputed by pair enumeration this round
+	arcsReused int // arcs replayed from a previous round's block cache
+}
+
+// arcBlock caches the constraint arcs of one buffer (or of one task's
+// sequential chain) in block-local coordinates, i.e. as offsets into the
+// endpoint tasks' node regions. A block built for the same endpoint K
+// values is position-independent: when other tasks' K change, only the
+// region offsets move, so the block is replayed by re-basing its arcs.
+type arcBlock struct {
+	kSrc, kDst int64 // endpoint K values the cache holds arcs for; 0 = empty
+	arcs       []blockArc
+}
+
+// blockArc is one cached arc: from/to are 0-based expanded-phase offsets
+// within the source/destination task regions, h the lcm-free H weight and
+// hf its float64 rendering for the MCRP fast path.
+type blockArc struct {
+	from, to int32
+	l        int64
+	h        rat.Rat
+	hf       float64
 }
 
 func newBuilder(g *csdf.Graph, q, K []int64, opt Options) (*builder, error) {
+	if err := checkK(g, K); err != nil {
+		return nil, err
+	}
+	b := &builder{
+		g:         g,
+		q:         q,
+		K:         append([]int64(nil), K...),
+		seq:       !opt.AutoConcurrency,
+		opt:       opt,
+		offset:    make([]int, g.NumTasks()+1),
+		mg:        mcr.New(0),
+		bufBlocks: make([]arcBlock, g.NumBuffers()),
+	}
+	if b.seq {
+		b.seqBlocks = make([]arcBlock, g.NumTasks())
+	}
+	if err := b.layout(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func checkK(g *csdf.Graph, K []int64) error {
 	if len(K) != g.NumTasks() {
-		return nil, fmt.Errorf("kperiodic: K has %d entries for %d tasks", len(K), g.NumTasks())
+		return fmt.Errorf("kperiodic: K has %d entries for %d tasks", len(K), g.NumTasks())
 	}
 	for t, k := range K {
 		if k <= 0 {
-			return nil, fmt.Errorf("kperiodic: K[%d] = %d must be positive", t, k)
+			return fmt.Errorf("kperiodic: K[%d] = %d must be positive", t, k)
 		}
 	}
-	b := &builder{
-		g:    g,
-		q:    q,
-		K:    append([]int64(nil), K...),
-		seq:  !opt.AutoConcurrency,
-		lcmK: big.NewInt(1),
+	return nil
+}
+
+// setK switches the builder to a new periodicity vector. Cached arc
+// blocks are untouched: build compares every block's endpoint K values
+// against the new vector and recomputes only the stale ones.
+func (b *builder) setK(K []int64) error {
+	if err := checkK(b.g, K); err != nil {
+		return err
 	}
-	tmp := new(big.Int)
-	for _, k := range K {
-		kb := big.NewInt(k)
-		tmp.GCD(nil, nil, b.lcmK, kb)
-		b.lcmK.Div(b.lcmK, tmp).Mul(b.lcmK, kb)
-	}
+	b.K = append(b.K[:0], K...)
+	return b.layout()
+}
+
+// layout recomputes everything that depends on the whole K vector — the
+// size budget, lcm(K), and the task node offsets — and is therefore
+// redone on every round regardless of block reuse.
+func (b *builder) layout() error {
+	g, K := b.g, b.K
 	// Size budget: nodes and constraint pairs, checked before any
 	// allocation proportional to them.
 	var nodes, pairs int64
 	for t := 0; t < g.NumTasks(); t++ {
 		n, ok := rat.MulCheck(K[t], int64(g.Task(csdf.TaskID(t)).Phases()))
 		if !ok {
-			return nil, &ErrTooLarge{Nodes: -1}
+			return &ErrTooLarge{Nodes: -1}
 		}
 		nodes, ok = rat.AddCheck(nodes, n)
 		if !ok {
-			return nil, &ErrTooLarge{Nodes: -1}
+			return &ErrTooLarge{Nodes: -1}
 		}
 	}
 	for i := 0; i < g.NumBuffers(); i++ {
@@ -77,27 +148,42 @@ func newBuilder(g *csdf.Graph, q, K []int64, opt Options) (*builder, error) {
 			p, okP = rat.MulCheck(nS, nD)
 		}
 		if !okP {
-			return nil, &ErrTooLarge{Nodes: nodes, Pairs: -1}
+			return &ErrTooLarge{Nodes: nodes, Pairs: -1}
 		}
 		pairs, okP = rat.AddCheck(pairs, p)
 		if !okP {
-			return nil, &ErrTooLarge{Nodes: nodes, Pairs: -1}
+			return &ErrTooLarge{Nodes: nodes, Pairs: -1}
 		}
 	}
-	if opt.MaxNodes > 0 && nodes > opt.MaxNodes {
-		return nil, &ErrTooLarge{Nodes: nodes, Pairs: pairs}
+	if b.opt.MaxNodes > 0 && nodes > b.opt.MaxNodes {
+		return &ErrTooLarge{Nodes: nodes, Pairs: pairs}
 	}
-	if opt.MaxPairs > 0 && pairs > opt.MaxPairs {
-		return nil, &ErrTooLarge{Nodes: nodes, Pairs: pairs}
+	if b.opt.MaxPairs > 0 && pairs > b.opt.MaxPairs {
+		return &ErrTooLarge{Nodes: nodes, Pairs: pairs}
 	}
-	b.offset = make([]int, g.NumTasks()+1)
+	b.nodes = 0
 	for t := 0; t < g.NumTasks(); t++ {
 		b.offset[t] = b.nodes
 		b.nodes += int(K[t]) * g.Task(csdf.TaskID(t)).Phases()
 	}
 	b.offset[g.NumTasks()] = b.nodes
-	b.mg = mcr.New(b.nodes)
-	return b, nil
+	if b.lcmK == nil {
+		b.lcmK = new(big.Int)
+	}
+	if l, ok := rat.LcmAll(K...); ok {
+		b.lcmK.SetInt64(l)
+		return nil
+	}
+	// lcm(K) left int64; fold it in big arithmetic.
+	b.lcmK.SetInt64(1)
+	tmp := new(big.Int)
+	kb := new(big.Int)
+	for _, k := range K {
+		kb.SetInt64(k)
+		tmp.GCD(nil, nil, b.lcmK, kb)
+		b.lcmK.Div(b.lcmK, tmp).Mul(b.lcmK, kb)
+	}
+	return nil
 }
 
 // node returns the bi-valued graph node of ⟨t, p̃⟩ with p̃ 1-based.
@@ -126,22 +212,67 @@ func (b *builder) duration(t csdf.TaskID, pTilde int) int64 {
 	return task.Durations[(pTilde-1)%task.Phases()]
 }
 
-// build generates all constraint arcs.
+// build brings the constraint graph up to date with the current K:
+// buffer and sequential arc blocks whose endpoint K values are unchanged
+// since their last computation are replayed from the cache (re-based on
+// the current node offsets); the rest are re-enumerated. The assembled
+// arcs land in b.mg, whose arena is pre-sized to the exact total and
+// reused across rounds.
 func (b *builder) build() error {
+	b.stats = buildStats{}
 	for i := 0; i < b.g.NumBuffers(); i++ {
-		if err := b.addBufferArcs(b.g.Buffer(csdf.BufferID(i))); err != nil {
+		buf := b.g.Buffer(csdf.BufferID(i))
+		blk := &b.bufBlocks[i]
+		if blk.kSrc == b.K[buf.Src] && blk.kDst == b.K[buf.Dst] {
+			b.stats.arcsReused += len(blk.arcs)
+			continue
+		}
+		if err := b.computeBufferBlock(blk, buf); err != nil {
 			return err
 		}
+		b.stats.arcsBuilt += len(blk.arcs)
 	}
 	if b.seq {
 		for t := 0; t < b.g.NumTasks(); t++ {
-			b.addSequentialArcs(csdf.TaskID(t))
+			blk := &b.seqBlocks[t]
+			if blk.kSrc == b.K[t] && blk.kDst == b.K[t] {
+				b.stats.arcsReused += len(blk.arcs)
+				continue
+			}
+			b.computeSequentialBlock(blk, csdf.TaskID(t))
+			b.stats.arcsBuilt += len(blk.arcs)
 		}
+	}
+	total := 0
+	for i := range b.bufBlocks {
+		total += len(b.bufBlocks[i].arcs)
+	}
+	for i := range b.seqBlocks {
+		total += len(b.seqBlocks[i].arcs)
+	}
+	b.mg.Reset(b.nodes)
+	b.mg.Reserve(total)
+	for i := range b.bufBlocks {
+		buf := b.g.Buffer(csdf.BufferID(i))
+		b.emit(&b.bufBlocks[i], b.offset[buf.Src], b.offset[buf.Dst])
+	}
+	for t := range b.seqBlocks {
+		b.emit(&b.seqBlocks[t], b.offset[t], b.offset[t])
 	}
 	return nil
 }
 
-// addBufferArcs enumerates the useful pairs of one buffer of G̃.
+// emit replays one block into the constraint graph, re-basing its local
+// coordinates on the current task region offsets.
+func (b *builder) emit(blk *arcBlock, offSrc, offDst int) {
+	for i := range blk.arcs {
+		a := &blk.arcs[i]
+		b.mg.AddArcHF(offSrc+int(a.from), offDst+int(a.to), a.l, a.h, a.hf)
+	}
+}
+
+// computeBufferBlock enumerates the useful pairs of one buffer of G̃ into
+// its arc block.
 //
 // With src = t, dst = t′, expanded phase counts ϕ̃ = Kt·ϕ(t) and
 // ϕ̃′ = Kt′·ϕ(t′), expanded totals ĩ = Kt·ib and õ = Kt′·ob:
@@ -150,8 +281,11 @@ func (b *builder) build() error {
 //	α(p,p′)  = ⌈Q − min(ĩn(p), õut(p′))⌉_gcd(ĩ,õ)
 //	β(p,p′)  = ⌊Q − 1⌋_gcd(ĩ,õ)
 //
-// and each pair with α ≤ β yields the arc ⟨tp,1⟩ → ⟨t′p′,1⟩.
-func (b *builder) addBufferArcs(buf *csdf.Buffer) error {
+// and each pair with α ≤ β yields the arc ⟨tp,1⟩ → ⟨t′p′,1⟩ with
+// H = −β/(qt·ib), an int64-backed rational: the denominator is constant
+// across the block, so the whole enumeration allocates nothing beyond the
+// block's arc slice.
+func (b *builder) computeBufferBlock(blk *arcBlock, buf *csdf.Buffer) error {
 	src, dst := buf.Src, buf.Dst
 	phiS := b.g.Task(src).Phases()
 	phiD := b.g.Task(dst).Phases()
@@ -169,21 +303,29 @@ func (b *builder) addBufferArcs(buf *csdf.Buffer) error {
 	}
 	gcd := rat.Gcd(iTil, oTil)
 
-	// den = q̃t·ĩ = qt·ib·lcm(K), assembled exactly.
-	den := new(big.Int).Mul(big.NewInt(b.q[src]), big.NewInt(ib))
-	den.Mul(den, b.lcmK)
+	// den = qt·ib: the lcm-free H denominator, constant per buffer.
+	den, denOK := rat.MulCheck(b.q[src], ib)
 
 	// Cumulative expanded I and O at the first execution of each phase.
-	cumI := make([]int64, nS+1) // cumI[p] = Ĩ⟨tp,1⟩
+	if cap(b.cumI) < nS+1 {
+		b.cumI = make([]int64, nS+1)
+	}
+	cumI := b.cumI[:nS+1] // cumI[p] = Ĩ⟨tp,1⟩
+	cumI[0] = 0
 	for p := 1; p <= nS; p++ {
 		cumI[p] = cumI[p-1] + buf.In[(p-1)%phiS]
 	}
-	cumO := make([]int64, nD+1)
+	if cap(b.cumO) < nD+1 {
+		b.cumO = make([]int64, nD+1)
+	}
+	cumO := b.cumO[:nD+1]
+	cumO[0] = 0
 	for p := 1; p <= nD; p++ {
 		cumO[p] = cumO[p-1] + buf.Out[(p-1)%phiD]
 	}
 
-	neg := new(big.Int)
+	blk.kSrc, blk.kDst = 0, 0 // invalid until fully recomputed
+	blk.arcs = blk.arcs[:0]
 	for p := 1; p <= nS; p++ {
 		// One cancellation poll per source phase row: each row costs
 		// O(nD) arc insertions, so the poll is amortized while still
@@ -195,7 +337,7 @@ func (b *builder) addBufferArcs(buf *csdf.Buffer) error {
 		}
 		inP := buf.In[(p-1)%phiS]
 		l := b.duration(src, p)
-		from := b.node(src, p)
+		from := int32(p - 1)
 		base := -cumI[p] - buf.Initial + inP
 		for pp := 1; pp <= nD; pp++ {
 			outP := buf.Out[(pp-1)%phiD]
@@ -209,27 +351,52 @@ func (b *builder) addBufferArcs(buf *csdf.Buffer) error {
 			if alpha > beta {
 				continue
 			}
-			neg.SetInt64(-beta)
-			h := rat.FromBigInts(neg, den)
-			b.mg.AddArc(from, b.node(dst, pp), l, h)
+			var h rat.Rat
+			if denOK {
+				h = rat.NewRat(-beta, den)
+			} else {
+				num := big.NewInt(-beta)
+				d := new(big.Int).Mul(big.NewInt(b.q[src]), big.NewInt(ib))
+				h = rat.FromBigInts(num, d)
+			}
+			blk.arcs = append(blk.arcs, blockArc{
+				from: from,
+				to:   int32(pp - 1),
+				l:    l,
+				h:    h,
+				hf:   h.Float(),
+			})
 		}
 	}
+	blk.kSrc, blk.kDst = b.K[src], b.K[dst]
 	return nil
 }
 
-// addSequentialArcs enforces the ordered, non-overlapping execution of a
-// task's phases. These are exactly the useful pairs of an implicit
-// self-buffer with unit rates and one initial token: an arc p̃ → p̃+1 with
-// β = 0 for consecutive phases, and the wrap-around arc ϕ̃ → 1 with
-// β = −ϕ̃, i.e. H = ϕ̃/(q̃t·ϕ̃·…) = Kt/(qt·lcm(K)).
-func (b *builder) addSequentialArcs(t csdf.TaskID) {
+// computeSequentialBlock caches the arcs enforcing the ordered,
+// non-overlapping execution of a task's phases. These are exactly the
+// useful pairs of an implicit self-buffer with unit rates and one initial
+// token: an arc p̃ → p̃+1 with β = 0 for consecutive phases, and the
+// wrap-around arc ϕ̃ → 1 with β = −ϕ̃, i.e. H = Kt/qt in the lcm-free
+// normalization.
+func (b *builder) computeSequentialBlock(blk *arcBlock, t csdf.TaskID) {
 	phi := b.g.Task(t).Phases()
 	n := int(b.K[t]) * phi
+	blk.arcs = blk.arcs[:0]
 	for p := 1; p < n; p++ {
-		b.mg.AddArc(b.node(t, p), b.node(t, p+1), b.duration(t, p), rat.Rat{})
+		blk.arcs = append(blk.arcs, blockArc{
+			from: int32(p - 1),
+			to:   int32(p),
+			l:    b.duration(t, p),
+		})
 	}
 	// Wrap-around: the next periodicity window starts after this one.
-	den := new(big.Int).Mul(big.NewInt(b.q[t]), b.lcmK)
-	h := rat.FromBigInts(big.NewInt(b.K[t]), den)
-	b.mg.AddArc(b.node(t, n), b.node(t, 1), b.duration(t, n), h)
+	h := rat.NewRat(b.K[t], b.q[t])
+	blk.arcs = append(blk.arcs, blockArc{
+		from: int32(n - 1),
+		to:   0,
+		l:    b.duration(t, n),
+		h:    h,
+		hf:   h.Float(),
+	})
+	blk.kSrc, blk.kDst = b.K[t], b.K[t]
 }

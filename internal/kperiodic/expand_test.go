@@ -79,7 +79,8 @@ func TestConstraintArcsFigure1(t *testing.T) {
 
 // TestExpansionDuplication checks that K > 1 duplicates the adjacent
 // vectors: at K = [2, 1] the source has 6 expanded phases whose cumulative
-// production doubles per window, and den becomes q̃t·ĩb = qt·ib·lcm(K).
+// production doubles per window, and every H keeps the lcm-free
+// denominator qt·ib.
 func TestExpansionDuplication(t *testing.T) {
 	g := figure1()
 	q := []int64{7, 6}
@@ -96,15 +97,15 @@ func TestExpansionDuplication(t *testing.T) {
 	if err := b.build(); err != nil {
 		t.Fatal(err)
 	}
-	// Every arc's H must have denominator dividing q·ib·lcm(K) = 84.
+	// Every arc's H must have denominator dividing q·ib = 42.
 	for i := 0; i < b.mg.NumArcs(); i++ {
 		h := b.mg.Arc(i).H
 		if h.IsZero() {
 			continue
 		}
 		den := h.Den()
-		if new(big.Int).Mod(big.NewInt(84), den).Sign() != 0 {
-			t.Errorf("arc %d: denominator %s does not divide 84", i, den)
+		if new(big.Int).Mod(big.NewInt(42), den).Sign() != 0 {
+			t.Errorf("arc %d: denominator %s does not divide 42", i, den)
 		}
 	}
 	// Durations repeat: expanded phase 4 of t is original phase 1.
@@ -155,7 +156,8 @@ func TestSequentialArcs(t *testing.T) {
 	if err := b.build(); err != nil {
 		t.Fatal(err)
 	}
-	// 4 expanded phases: 3 chain arcs (H=0) + 1 wrap arc (H=K/(q·lcm)=1).
+	// 4 expanded phases: 3 chain arcs (H=0) + 1 wrap arc with the
+	// lcm-free weight H = K/q.
 	if b.mg.NumArcs() != 4 {
 		t.Fatalf("arcs = %d, want 4", b.mg.NumArcs())
 	}
@@ -172,8 +174,8 @@ func TestSequentialArcs(t *testing.T) {
 		if a.From != 3 || a.To != 0 {
 			t.Errorf("wrap arc %d→%d, want 3→0", a.From, a.To)
 		}
-		if a.H.Cmp(rat.NewRat(1, 1)) != 0 { // K/(q·lcm) = 2/(1·2) = 1
-			t.Errorf("wrap H = %s, want 1", a.H)
+		if a.H.Cmp(rat.NewRat(2, 1)) != 0 { // K/q = 2/1
+			t.Errorf("wrap H = %s, want 2", a.H)
 		}
 		if a.L != 3 { // duration of last expanded phase (orig phase 2)
 			t.Errorf("wrap L = %d, want 3", a.L)

@@ -18,6 +18,10 @@ type IterStep struct {
 	Infeasible    bool
 	CriticalTasks []csdf.TaskID
 	Nodes, Arcs   int
+	// ArcsBuilt and ArcsReused report the incremental expansion work of
+	// this round: constraint arcs recomputed from their buffer's phase
+	// pairs vs. replayed from a previous round's block cache.
+	ArcsBuilt, ArcsReused int
 }
 
 // KIterResult is the outcome of Algorithm 1: an optimal Evaluation plus
@@ -73,13 +77,28 @@ func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, er
 	inner := opt
 	inner.SkipCertify = true
 
+	// One builder and one MCRP solver serve every round: arc blocks whose
+	// endpoint K survived the latest updateK are replayed instead of
+	// re-enumerated, and the solver's O(n) working arrays are recycled.
 	result := &KIterResult{}
+	b, err := newBuilder(g, q, K, inner)
+	if err != nil {
+		result.Iterations = 1
+		return result, err
+	}
+	b.ctx = ctx
+	solver := mcr.NewSolver()
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return result, err
 		}
 		result.Iterations = iter + 1
-		ev, err := solveK(ctx, g, q, K, inner)
+		if iter > 0 {
+			if err := b.setK(K); err != nil {
+				return result, err
+			}
+		}
+		ev, err := resolve(ctx, b, solver, inner)
 		if err != nil {
 			return result, err
 		}
@@ -91,6 +110,8 @@ func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, er
 				CriticalTasks: tasks,
 				Nodes:         ev.b.mg.NumNodes(),
 				Arcs:          ev.b.mg.NumArcs(),
+				ArcsBuilt:     ev.b.stats.arcsBuilt,
+				ArcsReused:    ev.b.stats.arcsReused,
 			})
 			if optimalityTest(tasks, q, K) {
 				return result, &DeadlockError{K: append([]int64(nil), K...), Tasks: tasks}
@@ -100,13 +121,14 @@ func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, er
 		}
 
 		tasks := criticalTasks(ev)
-		lcmRat := rat.FromBigInts(bigOne, ev.b.lcmK)
 		result.Trace = append(result.Trace, IterStep{
 			K:             append([]int64(nil), K...),
-			Period:        ev.res.Ratio.Mul(lcmRat),
+			Period:        ev.res.Ratio,
 			CriticalTasks: tasks,
 			Nodes:         ev.b.mg.NumNodes(),
 			Arcs:          ev.b.mg.NumArcs(),
+			ArcsBuilt:     ev.b.stats.arcsBuilt,
+			ArcsReused:    ev.b.stats.arcsReused,
 		})
 		if !optimalityTest(tasks, q, K) {
 			updateK(K, tasks, q, opt)
@@ -116,7 +138,7 @@ func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, er
 		// The candidate circuit passes; make the circuit exact before
 		// trusting the verdict.
 		if !opt.SkipCertify && !ev.res.Certified {
-			refined, err := mcr.Refine(ev.b.mg, ev.res)
+			refined, err := solver.RefineCtx(ctx, ev.b.mg, ev.res)
 			if err != nil {
 				var de *mcr.DeadlockError
 				if errors.As(err, &de) {
@@ -131,7 +153,9 @@ func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, er
 					updateK(K, dTasks, q, opt)
 					continue
 				}
-				return nil, err
+				// Certification can now be cancelled mid-relaxation; keep
+				// the partial-trace contract on that path too.
+				return result, err
 			}
 			ev.res = refined
 			tasks = criticalTasks(ev)

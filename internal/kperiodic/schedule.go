@@ -63,9 +63,11 @@ func ScheduleKCtx(ctx context.Context, g *csdf.Graph, K []int64, opt Options) (*
 		return nil, &ErrInfeasibleK{K: append([]int64(nil), K...), Tasks: tasks}
 	}
 	b := ev.b
-	// Longest-path potentials with arc weights w = L − Ω̃·H; at the
-	// optimal Ω̃ every circuit has non-positive weight, so Bellman–Ford
-	// from an all-zero source converges within n rounds.
+	// Longest-path potentials with arc weights w = L − λ·H, where λ is the
+	// optimal ratio in the builder's lcm-free normalization (λ = Ω_G,
+	// H = lcm(K)·H̃ — the product λ·H equals Ω̃_G̃·H̃ exactly): at the
+	// optimum every circuit has non-positive weight, so Bellman–Ford from
+	// an all-zero source converges within n rounds.
 	lambda := ev.res.Ratio
 	n := b.mg.NumNodes()
 	dist := make([]rat.Rat, n)

@@ -1,6 +1,7 @@
 package mcr
 
 import (
+	"context"
 	"fmt"
 
 	"kiter/internal/rat"
@@ -11,10 +12,10 @@ import (
 // for a circuit with L(c) − λ·H(c) > 0. None found certifies λ as the
 // maximum ratio; otherwise the found circuit's exact ratio strictly
 // exceeds λ (or proves infeasibility) and becomes the new candidate.
-func (g *Graph) certifyLoop(cand Result) (Result, error) {
+func (s *Solver) certifyLoop(ctx context.Context, g *Graph, cand Result) (Result, error) {
 	res := cand
 	for {
-		better, err := g.positiveCycle(res.Ratio)
+		better, err := s.positiveCycle(ctx, g, res.Ratio)
 		if err != nil {
 			return Result{}, err
 		}
@@ -42,10 +43,28 @@ func (g *Graph) certifyLoop(cand Result) (Result, error) {
 // SkipCertify) to an exactly certified one, re-using the candidate circuit
 // as the starting point of the certification loop.
 func Refine(g *Graph, cand Result) (Result, error) {
+	return NewSolver().RefineCtx(context.Background(), g, cand)
+}
+
+// RefineCtx is Refine with cancellation, polled once per exact relaxation
+// round.
+func RefineCtx(ctx context.Context, g *Graph, cand Result) (Result, error) {
+	return NewSolver().RefineCtx(ctx, g, cand)
+}
+
+// Refine is the Solver equivalent of the package-level Refine, reusing
+// the solver's certification scratch.
+func (s *Solver) Refine(g *Graph, cand Result) (Result, error) {
+	return s.RefineCtx(context.Background(), g, cand)
+}
+
+// RefineCtx upgrades cand to an exactly certified result with
+// cancellation, reusing the solver's certification scratch.
+func (s *Solver) RefineCtx(ctx context.Context, g *Graph, cand Result) (Result, error) {
 	if cand.Certified {
 		return cand, nil
 	}
-	return g.certifyLoop(cand)
+	return s.certifyLoop(ctx, g, cand)
 }
 
 // Certify checks in exact arithmetic that no circuit of g has a
@@ -53,34 +72,42 @@ func Refine(g *Graph, cand Result) (Result, error) {
 // returns nil when lambda is an upper bound, and otherwise the arc indices
 // of a violating circuit.
 func (g *Graph) Certify(lambda rat.Rat) ([]int, error) {
-	return g.positiveCycle(lambda)
+	return NewSolver().positiveCycle(context.Background(), g, lambda)
 }
 
 // positiveCycle runs exact Bellman–Ford longest-path relaxation with arc
 // weights w(e) = L(e) − λ·H(e) from an implicit super-source (all
 // distances start at 0). It returns an elementary circuit with positive
-// total weight, or nil when none exists.
-func (g *Graph) positiveCycle(lambda rat.Rat) ([]int, error) {
+// total weight, or nil when none exists. The context is polled once per
+// relaxation round.
+func (s *Solver) positiveCycle(ctx context.Context, g *Graph, lambda rat.Rat) ([]int, error) {
 	n := g.n
 	if n == 0 || len(g.arcs) == 0 {
 		return nil, nil
 	}
-	w := make([]rat.Rat, len(g.arcs))
+	s.w = growRat(s.w, len(g.arcs))
 	for i := range g.arcs {
 		a := &g.arcs[i]
-		w[i] = rat.FromInt(a.L).Sub(lambda.Mul(a.H))
+		s.w[i] = rat.FromInt(a.L).Sub(lambda.Mul(a.H))
 	}
-	dist := make([]rat.Rat, n)
-	pred := make([]int32, n)
-	for i := range pred {
-		pred[i] = -1
+	s.dist = growRat(s.dist, n)
+	for i := range s.dist {
+		s.dist[i] = rat.Rat{}
 	}
+	s.pred = growInt32(s.pred, n)
+	for i := range s.pred {
+		s.pred[i] = -1
+	}
+	dist, pred := s.dist, s.pred
 	var lastUpdated int = -1
 	for round := 0; round <= n; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		updated := false
 		for i := range g.arcs {
 			a := &g.arcs[i]
-			cand := dist[a.From].Add(w[i])
+			cand := dist[a.From].Add(s.w[i])
 			if cand.Cmp(dist[a.To]) > 0 {
 				dist[a.To] = cand
 				pred[a.To] = int32(i)
@@ -125,11 +152,11 @@ func (g *Graph) positiveCycle(lambda rat.Rat) ([]int, error) {
 // refinement loop only. Slower than Solve but free of floating-point
 // behaviour entirely; used for cross-checking.
 func SolveExact(g *Graph) (Result, error) {
-	alive := g.trimToCyclicCore()
-	if alive == nil {
+	s := NewSolver()
+	if !s.trim(g) {
 		return Result{}, ErrNoCycle
 	}
-	start, err := g.anyCycle(alive)
+	start, err := g.anyCycle(s.alive)
 	if err != nil {
 		return Result{}, err
 	}
@@ -146,7 +173,7 @@ func SolveExact(g *Graph) (Result, error) {
 		ratio = rat.Rat{}
 	}
 	cand := Result{Ratio: ratio, CycleArcs: start, CycleNodes: g.nodesOfCycle(start)}
-	res, err := g.certifyLoop(cand)
+	res, err := s.certifyLoop(context.Background(), g, cand)
 	if err != nil {
 		return Result{}, err
 	}
@@ -171,7 +198,7 @@ func (g *Graph) anyCycle(alive []bool) ([]int, error) {
 		if !alive[v] {
 			continue
 		}
-		for _, ai := range g.out[v] {
+		for _, ai := range g.Out(v) {
 			if alive[g.arcs[ai].To] {
 				next[v] = ai
 				break

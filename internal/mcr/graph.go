@@ -19,6 +19,11 @@
 // Circuits whose total time is non-positive while their total cost is
 // positive make the underlying scheduling LP infeasible; they are reported
 // as a DeadlockError carrying the certificate circuit.
+//
+// Repeated resolutions — the K-Iter loop solves one MCRP per Algorithm 1
+// round — should reuse a Solver (persistent scratch state) and rebuild the
+// graph in place with Reset/Reserve, which keeps the per-round work
+// allocation-free once the backing arrays have grown to steady state.
 package mcr
 
 import (
@@ -38,25 +43,100 @@ type Arc struct {
 }
 
 // Graph is a bi-valued directed graph under construction or analysis.
-// Build with New and AddArc; analyses may be run at any time.
+// Build with New and AddArc; analyses may be run at any time. The
+// out-adjacency is a compressed (CSR) index over the arc arena, built
+// lazily after the last AddArc, so construction itself touches only the
+// arena. Reset rewinds the graph for a new round while keeping every
+// backing array.
+//
+// A Graph is not safe for concurrent use: even read-style analyses may
+// (re)build the adjacency index.
 type Graph struct {
 	n    int
 	arcs []Arc
-	out  [][]int32 // out[v] = indices into arcs
+	// CSR out-adjacency over arcs, valid while csrOK: the arcs leaving v
+	// are outArcs[outStart[v]:outStart[v+1]].
+	outStart []int32
+	outArcs  []int32
+	csrOK    bool
 }
 
 // New returns an empty bi-valued graph with n nodes (0 … n−1).
 func New(n int) *Graph {
-	return &Graph{n: n, out: make([][]int32, n)}
+	return &Graph{n: n}
+}
+
+// Reset rewinds g to an empty graph with n nodes, retaining the arc arena
+// and adjacency backing arrays for reuse.
+func (g *Graph) Reset(n int) {
+	g.n = n
+	g.arcs = g.arcs[:0]
+	g.csrOK = false
+}
+
+// Reserve grows the arc arena's capacity to hold at least m arcs, so a
+// build loop with a known arc count performs a single allocation at most.
+func (g *Graph) Reserve(m int) {
+	if cap(g.arcs) < m {
+		arcs := make([]Arc, len(g.arcs), m)
+		copy(arcs, g.arcs)
+		g.arcs = arcs
+	}
 }
 
 // AddArc appends an arc from → to with cost l and exact time h, returning
 // its arc index.
 func (g *Graph) AddArc(from, to int, l int64, h rat.Rat) int {
+	return g.AddArcHF(from, to, l, h, h.Float())
+}
+
+// AddArcHF is AddArc for callers that already hold the float64 rendering
+// of h (e.g. when replaying a cached arc block), skipping the conversion.
+func (g *Graph) AddArcHF(from, to int, l int64, h rat.Rat, hf float64) int {
 	id := len(g.arcs)
-	g.arcs = append(g.arcs, Arc{From: from, To: to, L: l, H: h, HF: h.Float()})
-	g.out[from] = append(g.out[from], int32(id))
+	g.arcs = append(g.arcs, Arc{From: from, To: to, L: l, H: h, HF: hf})
+	g.csrOK = false
 	return id
+}
+
+// ensureCSR (re)builds the out-adjacency index by counting sort over the
+// arc arena, reusing the index arrays.
+func (g *Graph) ensureCSR() {
+	if g.csrOK {
+		return
+	}
+	n1 := g.n + 1
+	if cap(g.outStart) < n1 {
+		g.outStart = make([]int32, n1)
+	} else {
+		g.outStart = g.outStart[:n1]
+		for i := range g.outStart {
+			g.outStart[i] = 0
+		}
+	}
+	for i := range g.arcs {
+		g.outStart[g.arcs[i].From+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		g.outStart[v+1] += g.outStart[v]
+	}
+	if cap(g.outArcs) < len(g.arcs) {
+		g.outArcs = make([]int32, len(g.arcs))
+	} else {
+		g.outArcs = g.outArcs[:len(g.arcs)]
+	}
+	// outStart is consumed as a running cursor and restored by the final
+	// shift-down, the standard two-pass CSR construction.
+	for i := range g.arcs {
+		from := g.arcs[i].From
+		g.outArcs[g.outStart[from]] = int32(i)
+		g.outStart[from]++
+	}
+	for v := g.n; v > 0; v-- {
+		g.outStart[v] = g.outStart[v-1]
+	}
+	g.outStart[0] = 0
+	g.csrOK = true
 }
 
 // NumNodes returns the node count.
@@ -69,8 +149,17 @@ func (g *Graph) NumArcs() int { return len(g.arcs) }
 // storage and must not be mutated.
 func (g *Graph) Arc(i int) *Arc { return &g.arcs[i] }
 
-// Out returns the indices of arcs leaving v. The slice aliases storage.
-func (g *Graph) Out(v int) []int32 { return g.out[v] }
+// Out returns the indices of arcs leaving v. The slice aliases the
+// adjacency index and is invalidated by the next AddArc or Reset.
+func (g *Graph) Out(v int) []int32 {
+	g.ensureCSR()
+	return g.outArcs[g.outStart[v]:g.outStart[v+1]]
+}
+
+// outDeg returns the out-degree of v (the CSR must be current).
+func (g *Graph) outDeg(v int) int32 {
+	return g.outStart[v+1] - g.outStart[v]
+}
 
 // CycleLH sums the cost and exact time of the given arc sequence.
 func (g *Graph) CycleLH(arcIdx []int) (l int64, h rat.Rat) {
@@ -183,8 +272,9 @@ func (g *Graph) SCCs() [][]int {
 				onStack[v] = true
 			}
 			advanced := false
-			for f.ai < len(g.out[v]) {
-				w := g.arcs[g.out[v][f.ai]].To
+			out := g.Out(v)
+			for f.ai < len(out) {
+				w := g.arcs[out[f.ai]].To
 				f.ai++
 				if index[w] == unvisited {
 					frames = append(frames, frame{v: w})

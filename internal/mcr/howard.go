@@ -1,6 +1,7 @@
 package mcr
 
 import (
+	"context"
 	"math"
 
 	"kiter/internal/rat"
@@ -30,137 +31,209 @@ func gtEps(a, b float64) bool {
 	return diff > relEps*scale
 }
 
+// Solver runs MCRP resolutions while holding every O(n)/O(m) working array
+// for reuse: the cyclic-core trim state, the Howard policy and value
+// vectors, the policy-circuit traversal stacks, and the exact
+// certification weights. A Solver kept across the rounds of one K-Iter
+// run makes each round's resolution allocation-free apart from the
+// returned Result. The zero value is ready to use; a Solver must not be
+// shared between goroutines.
+type Solver struct {
+	// cyclic-core trim
+	alive   []bool
+	outDeg  []int32
+	work    []int32
+	inStart []int32
+	inArcs  []int32
+	// Howard policy iteration
+	pol    []int32
+	lambda []float64
+	val    []float64
+	color  []int8
+	order  []int32
+	cycle  []int // current policy circuit, arc indices
+	best   []int // best circuit of the latest value-determination pass
+	// exact certification
+	w    []rat.Rat
+	dist []rat.Rat
+	pred []int32
+}
+
+// NewSolver returns an empty Solver.
+func NewSolver() *Solver { return &Solver{} }
+
 // Solve computes the maximum cost-to-time ratio of g and a critical
 // circuit. It returns ErrNoCycle for acyclic graphs and a *DeadlockError
 // when some circuit admits no finite positive period.
 func Solve(g *Graph, opt Options) (Result, error) {
-	alive := g.trimToCyclicCore()
-	if alive == nil {
+	return NewSolver().SolveCtx(context.Background(), g, opt)
+}
+
+// SolveCtx is Solve with cancellation: the context is polled once per
+// Howard round and once per certification relaxation round, so a caller
+// abandoning a large resolution gets control back after at most O(|E|)
+// work.
+func SolveCtx(ctx context.Context, g *Graph, opt Options) (Result, error) {
+	return NewSolver().SolveCtx(ctx, g, opt)
+}
+
+// Solve is the Solver equivalent of the package-level Solve, reusing the
+// solver's scratch state.
+func (s *Solver) Solve(g *Graph, opt Options) (Result, error) {
+	return s.SolveCtx(context.Background(), g, opt)
+}
+
+// SolveCtx resolves the MCRP on g with cancellation, reusing the solver's
+// scratch state.
+func (s *Solver) SolveCtx(ctx context.Context, g *Graph, opt Options) (Result, error) {
+	if !s.trim(g) {
 		return Result{}, ErrNoCycle
 	}
-	res, err := g.howard(alive, opt)
+	res, err := s.howard(ctx, g, opt)
 	if err != nil {
 		return Result{}, err
 	}
 	if opt.SkipCertify {
 		return res, nil
 	}
-	return g.certifyLoop(res)
+	return s.certifyLoop(ctx, g, res)
 }
 
-// trimToCyclicCore returns a membership mask of the nodes from which a
-// circuit is reachable (every remaining node keeps at least one outgoing
-// arc into the remaining set), or nil when the graph is acyclic.
-func (g *Graph) trimToCyclicCore() []bool {
-	alive := make([]bool, g.n)
-	outDeg := make([]int, g.n)
-	for v := 0; v < g.n; v++ {
-		alive[v] = true
-		outDeg[v] = len(g.out[v])
-	}
-	// Repeatedly remove nodes with no outgoing arc into the alive set.
-	// Maintain a worklist of candidates.
-	var work []int
-	for v := 0; v < g.n; v++ {
-		if outDeg[v] == 0 {
-			work = append(work, v)
+// trim computes the cyclic core of g into s.alive — the nodes from which a
+// circuit is reachable, every one keeping at least one outgoing arc into
+// the core — and reports whether any node survives.
+func (s *Solver) trim(g *Graph) bool {
+	g.ensureCSR()
+	n := g.n
+	s.alive = growBool(s.alive, n)
+	s.outDeg = growInt32(s.outDeg, n)
+	s.work = s.work[:0]
+	for v := 0; v < n; v++ {
+		s.alive[v] = true
+		s.outDeg[v] = g.outDeg(v)
+		if s.outDeg[v] == 0 {
+			s.work = append(s.work, int32(v))
 		}
 	}
-	// in-adjacency built lazily only if something trims
-	var in [][]int32
-	buildIn := func() {
-		in = make([][]int32, g.n)
-		for i := range g.arcs {
-			a := &g.arcs[i]
-			in[a.To] = append(in[a.To], int32(i))
+	// The in-adjacency is built lazily, only when something trims.
+	inBuilt := false
+	for len(s.work) > 0 {
+		if !inBuilt {
+			s.buildIn(g)
+			inBuilt = true
 		}
-	}
-	for len(work) > 0 {
-		if in == nil {
-			buildIn()
-		}
-		v := work[len(work)-1]
-		work = work[:len(work)-1]
-		if !alive[v] {
+		v := int(s.work[len(s.work)-1])
+		s.work = s.work[:len(s.work)-1]
+		if !s.alive[v] {
 			continue
 		}
-		alive[v] = false
-		for _, ai := range in[v] {
+		s.alive[v] = false
+		for _, ai := range s.inArcs[s.inStart[v]:s.inStart[v+1]] {
 			u := g.arcs[ai].From
-			if !alive[u] {
+			if !s.alive[u] {
 				continue
 			}
-			outDeg[u]--
-			if outDeg[u] == 0 {
-				work = append(work, u)
+			s.outDeg[u]--
+			if s.outDeg[u] == 0 {
+				s.work = append(s.work, int32(u))
 			}
 		}
 	}
-	for v := 0; v < g.n; v++ {
-		if alive[v] {
-			return alive
+	for v := 0; v < n; v++ {
+		if s.alive[v] {
+			return true
 		}
 	}
-	return nil
+	return false
+}
+
+// buildIn builds the CSR in-adjacency of g into the solver's scratch.
+func (s *Solver) buildIn(g *Graph) {
+	n1 := g.n + 1
+	if cap(s.inStart) < n1 {
+		s.inStart = make([]int32, n1)
+	} else {
+		s.inStart = s.inStart[:n1]
+		for i := range s.inStart {
+			s.inStart[i] = 0
+		}
+	}
+	for i := range g.arcs {
+		s.inStart[g.arcs[i].To+1]++
+	}
+	for v := 0; v < g.n; v++ {
+		s.inStart[v+1] += s.inStart[v]
+	}
+	if cap(s.inArcs) < len(g.arcs) {
+		s.inArcs = make([]int32, len(g.arcs))
+	} else {
+		s.inArcs = s.inArcs[:len(g.arcs)]
+	}
+	for i := range g.arcs {
+		to := g.arcs[i].To
+		s.inArcs[s.inStart[to]] = int32(i)
+		s.inStart[to]++
+	}
+	for v := g.n; v > 0; v-- {
+		s.inStart[v] = s.inStart[v-1]
+	}
+	s.inStart[0] = 0
 }
 
 // howard runs max-ratio policy iteration on the alive subgraph and returns
 // an uncertified candidate result.
-func (g *Graph) howard(alive []bool, opt Options) (Result, error) {
+func (s *Solver) howard(ctx context.Context, g *Graph, opt Options) (Result, error) {
 	maxRounds := opt.MaxHowardRounds
 	if maxRounds <= 0 {
 		maxRounds = defaultHowardRounds
 	}
-
-	pol := make([]int32, g.n) // arc index chosen per node; -1 = dead
-	for v := range pol {
-		pol[v] = -1
-	}
-	for v := 0; v < g.n; v++ {
-		if !alive[v] {
+	n := g.n
+	s.pol = growInt32(s.pol, n)
+	s.lambda = growFloat64(s.lambda, n)
+	s.val = growFloat64(s.val, n)
+	for v := 0; v < n; v++ {
+		s.pol[v] = -1
+		if !s.alive[v] {
 			continue
 		}
-		for _, ai := range g.out[v] {
-			if alive[g.arcs[ai].To] {
-				pol[v] = ai
+		for _, ai := range g.Out(v) {
+			if s.alive[g.arcs[ai].To] {
+				s.pol[v] = ai
 				break
 			}
 		}
 	}
 
-	lambda := make([]float64, g.n)
-	val := make([]float64, g.n)
-	var (
-		bestCycle []int
-		bestRatio float64
-	)
-
+	rounds := 0
 	for round := 0; round < maxRounds; round++ {
-		cycle, ratio, derr := g.evaluatePolicy(alive, pol, lambda, val)
-		if derr != nil {
-			return Result{}, derr
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
 		}
-		bestCycle, bestRatio = cycle, ratio
-
+		rounds = round + 1
+		if err := s.evaluatePolicy(g); err != nil {
+			return Result{}, err
+		}
+		arcs := g.arcs
 		improved := false
 		// Phase A: strict λ improvement.
-		for v := 0; v < g.n; v++ {
-			if !alive[v] {
+		for v := 0; v < n; v++ {
+			if !s.alive[v] {
 				continue
 			}
-			best := pol[v]
-			bestL := lambda[g.arcs[best].To]
-			for _, ai := range g.out[v] {
-				w := g.arcs[ai].To
-				if !alive[w] {
+			cur := s.pol[v]
+			curL := s.lambda[arcs[cur].To]
+			best, bestL := cur, curL
+			for _, ai := range g.Out(v) {
+				w := arcs[ai].To
+				if !s.alive[w] {
 					continue
 				}
-				if gtEps(lambda[w], bestL) {
-					best, bestL = ai, lambda[w]
+				if gtEps(s.lambda[w], bestL) {
+					best, bestL = ai, s.lambda[w]
 				}
 			}
-			if best != pol[v] && gtEps(bestL, lambda[g.arcs[pol[v]].To]) {
-				pol[v] = best
+			if best != cur && gtEps(bestL, curL) {
+				s.pol[v] = best
 				improved = true
 			}
 		}
@@ -168,39 +241,41 @@ func (g *Graph) howard(alive []bool, opt Options) (Result, error) {
 			continue
 		}
 		// Phase B: value improvement at equal λ.
-		for v := 0; v < g.n; v++ {
-			if !alive[v] {
+		for v := 0; v < n; v++ {
+			if !s.alive[v] {
 				continue
 			}
-			lv := lambda[v]
-			cur := val[v]
-			for _, ai := range g.out[v] {
-				a := &g.arcs[ai]
+			lv := s.lambda[v]
+			cur := s.val[v]
+			pol := s.pol[v]
+			for _, ai := range g.Out(v) {
+				a := &arcs[ai]
 				w := a.To
-				if !alive[w] || gtEps(lv, lambda[w]) || gtEps(lambda[w], lv) {
+				if !s.alive[w] || gtEps(lv, s.lambda[w]) || gtEps(s.lambda[w], lv) {
 					continue
 				}
-				cand := float64(a.L) - lv*a.HF + val[w]
+				cand := float64(a.L) - lv*a.HF + s.val[w]
 				if gtEps(cand, cur) {
-					pol[v] = ai
+					pol = ai
 					cur = cand
 					improved = true
 				}
 			}
+			s.pol[v] = pol
 		}
 		if !improved {
 			break
 		}
 	}
-	_ = bestRatio
-	if bestCycle == nil {
+	if len(s.best) == 0 {
 		return Result{}, ErrNoCycle
 	}
 	res := Result{
-		CycleArcs:  bestCycle,
-		CycleNodes: g.nodesOfCycle(bestCycle),
+		CycleArcs:  append([]int(nil), s.best...),
+		Iterations: rounds,
 	}
-	ratio, err := g.CycleRatio(bestCycle)
+	res.CycleNodes = g.nodesOfCycle(res.CycleArcs)
+	ratio, err := g.CycleRatio(res.CycleArcs)
 	if err != nil {
 		return Result{}, err
 	}
@@ -211,47 +286,53 @@ func (g *Graph) howard(alive []bool, opt Options) (Result, error) {
 // evaluatePolicy performs the value-determination step: it finds the
 // circuits of the policy's functional graph, computes their exact ratios
 // (reporting infeasible circuits as DeadlockError), assigns λ and a
-// potential to every alive node, and returns the best policy circuit with
-// its float ratio.
-func (g *Graph) evaluatePolicy(alive []bool, pol []int32, lambda, val []float64) ([]int, float64, error) {
+// potential to every alive node, and leaves the best policy circuit in
+// s.best.
+func (s *Solver) evaluatePolicy(g *Graph) error {
 	const (
 		white = 0 // unvisited
 		grey  = 1 // on the current path
 		black = 2 // finished
 	)
-	color := make([]int8, g.n)
-	var (
-		bestCycle []int
-		bestRatio = math.Inf(-1)
-	)
-	order := make([]int, 0, 64) // current path (nodes)
-	for s := 0; s < g.n; s++ {
-		if !alive[s] || color[s] != white {
+	n := g.n
+	s.color = growInt8(s.color, n)
+	for i := range s.color {
+		s.color[i] = white
+	}
+	s.best = s.best[:0]
+	bestRatio := math.Inf(-1)
+	arcs := g.arcs
+	for start := 0; start < n; start++ {
+		if !s.alive[start] || s.color[start] != white {
 			continue
 		}
-		order = order[:0]
-		v := s
-		for alive[v] && color[v] == white {
-			color[v] = grey
-			order = append(order, v)
-			v = g.arcs[pol[v]].To
+		s.order = s.order[:0]
+		v := start
+		for s.alive[v] && s.color[v] == white {
+			s.color[v] = grey
+			s.order = append(s.order, int32(v))
+			v = arcs[s.pol[v]].To
 		}
-		if color[v] == grey {
+		if s.color[v] == grey {
 			// Found a new policy circuit: the suffix of order from v.
-			start := 0
-			for order[start] != v {
-				start++
+			first := 0
+			for int(s.order[first]) != v {
+				first++
 			}
-			cyc := order[start:]
-			arcs := make([]int, len(cyc))
-			for i, u := range cyc {
-				arcs[i] = int(pol[u])
+			cyc := s.order[first:]
+			s.cycle = s.cycle[:0]
+			for _, u := range cyc {
+				s.cycle = append(s.cycle, int(s.pol[u]))
 			}
-			l, h := g.CycleLH(arcs)
+			l, h := g.CycleLH(s.cycle)
 			if infeasibleCycle(l, h) {
-				return nil, 0, &DeadlockError{
-					CycleArcs:  arcs,
-					CycleNodes: append([]int(nil), cyc...),
+				nodes := make([]int, len(cyc))
+				for i, u := range cyc {
+					nodes[i] = int(u)
+				}
+				return &DeadlockError{
+					CycleArcs:  append([]int(nil), s.cycle...),
+					CycleNodes: nodes,
 					L:          l,
 					H:          h,
 				}
@@ -265,50 +346,85 @@ func (g *Graph) evaluatePolicy(alive []bool, pol []int32, lambda, val []float64)
 			}
 			if lam > bestRatio {
 				bestRatio = lam
-				bestCycle = append([]int(nil), arcs...)
+				s.best = append(s.best[:0], s.cycle...)
 			}
 			// Assign λ and potentials around the circuit: fix val of the
 			// entry node to 0 and walk the circuit backwards so that
 			// val[u] = L − λH + val[next] holds on every arc except the
 			// closing one (whose defect is the circuit's zero-sum).
 			for _, u := range cyc {
-				lambda[u] = lam
+				s.lambda[u] = lam
 			}
-			val[v] = 0
+			s.val[v] = 0
 			if !math.IsInf(lam, -1) {
 				for i := len(cyc) - 1; i >= 1; i-- {
 					u := cyc[i]
-					a := &g.arcs[pol[u]]
-					val[u] = float64(a.L) - lam*a.HF + val[a.To]
+					a := &arcs[s.pol[u]]
+					s.val[u] = float64(a.L) - lam*a.HF + s.val[a.To]
 				}
 			} else {
 				for _, u := range cyc {
-					val[u] = 0
+					s.val[u] = 0
 				}
 			}
 			for _, u := range cyc {
-				color[u] = black
+				s.color[u] = black
 			}
 		}
 		// Unwind the tree part of the path in reverse, inheriting from the
 		// policy successor (already black).
-		for i := len(order) - 1; i >= 0; i-- {
-			u := order[i]
-			if color[u] == black {
+		for i := len(s.order) - 1; i >= 0; i-- {
+			u := int(s.order[i])
+			if s.color[u] == black {
 				continue
 			}
-			a := &g.arcs[pol[u]]
-			lambda[u] = lambda[a.To]
-			if math.IsInf(lambda[u], -1) {
-				val[u] = 0
+			a := &arcs[s.pol[u]]
+			s.lambda[u] = s.lambda[a.To]
+			if math.IsInf(s.lambda[u], -1) {
+				s.val[u] = 0
 			} else {
-				val[u] = float64(a.L) - lambda[u]*a.HF + val[a.To]
+				s.val[u] = float64(a.L) - s.lambda[u]*a.HF + s.val[a.To]
 			}
-			color[u] = black
+			s.color[u] = black
 		}
 	}
-	if bestCycle == nil {
-		return nil, 0, ErrNoCycle
+	if len(s.best) == 0 {
+		return ErrNoCycle
 	}
-	return bestCycle, bestRatio, nil
+	return nil
+}
+
+func growBool(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	return b[:n]
+}
+
+func growInt8(b []int8, n int) []int8 {
+	if cap(b) < n {
+		return make([]int8, n)
+	}
+	return b[:n]
+}
+
+func growInt32(b []int32, n int) []int32 {
+	if cap(b) < n {
+		return make([]int32, n)
+	}
+	return b[:n]
+}
+
+func growFloat64(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+func growRat(b []rat.Rat, n int) []rat.Rat {
+	if cap(b) < n {
+		return make([]rat.Rat, n)
+	}
+	return b[:n]
 }

@@ -24,7 +24,7 @@ func MaxCycleMean(g *Graph) (rat.Rat, error) {
 			// A singleton component only matters if it has a self-loop.
 			v := comp[0]
 			self := false
-			for _, ai := range g.out[v] {
+			for _, ai := range g.Out(v) {
 				if g.arcs[ai].To == v {
 					self = true
 					break
@@ -65,7 +65,7 @@ func (g *Graph) karpOnComponent(comp []int) (rat.Rat, bool) {
 	var arcs []larc
 	for _, v := range comp {
 		lv := local[v]
-		for _, ai := range g.out[v] {
+		for _, ai := range g.Out(v) {
 			a := &g.arcs[ai]
 			if lw, ok := local[a.To]; ok {
 				arcs = append(arcs, larc{from: lv, to: lw, l: a.L})

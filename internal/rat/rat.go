@@ -12,7 +12,9 @@ package rat
 
 import (
 	"fmt"
+	"math"
 	"math/big"
+	"strconv"
 )
 
 // Gcd returns the non-negative greatest common divisor of a and b.
@@ -120,10 +122,63 @@ func CeilTo(a, gamma int64) int64 {
 
 // Rat is an exact rational number. The zero value is 0. Rat values are
 // immutable: all operations return new values, so Rats may be freely copied
-// and shared. Internally a *big.Rat is used; construction from int64 pairs
-// is provided for convenience.
+// and shared.
+//
+// Representation: a value that fits is held as a reduced int64 fraction
+// num/den with den > 0 (the small form) — construction and arithmetic in
+// this regime allocate nothing, which is what keeps the bi-valued graph's
+// per-arc H weights off the heap. Values that leave the int64 range are
+// promoted to a *big.Rat automatically, and big results that shrink back
+// into range are demoted, so chains of operations stay in the fast form
+// whenever the magnitudes allow.
 type Rat struct {
-	r *big.Rat // nil means exact zero
+	// Small form, valid when r == nil: the value is num/den, reduced, with
+	// den > 0. The zero value (num = 0, den = 0) represents exactly 0.
+	num, den int64
+	// Big form when non-nil; never holds zero, and never holds a value
+	// whose reduced numerator and denominator both fit in int64 (such
+	// values are demoted on construction).
+	r *big.Rat
+}
+
+// smallRat builds the reduced small form for num/den with den > 0 and
+// num ≠ 0, falling back to the big form when MinInt64 makes negation or
+// reduction unsafe.
+func smallRat(num, den int64) Rat {
+	if num == math.MinInt64 || den == math.MinInt64 {
+		return normBig(big.NewRat(num, den))
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := Gcd(num, den)
+	return Rat{num: num / g, den: den / g}
+}
+
+// normBig wraps a big.Rat result, demoting it to the small form when it
+// fits. The argument is owned by the callee and must not be reused.
+func normBig(r *big.Rat) Rat {
+	if r.Sign() == 0 {
+		return Rat{}
+	}
+	if n, d := r.Num(), r.Denom(); n.IsInt64() && d.IsInt64() {
+		if nn := n.Int64(); nn != math.MinInt64 {
+			return Rat{num: nn, den: d.Int64()}
+		}
+	}
+	return Rat{r: r}
+}
+
+// asBig views x as a *big.Rat for use as an operand. The result may alias
+// x's internal state and must not be mutated.
+func (x Rat) asBig() *big.Rat {
+	if x.r != nil {
+		return x.r
+	}
+	if x.num == 0 {
+		return new(big.Rat)
+	}
+	return big.NewRat(x.num, x.den)
 }
 
 // NewRat returns num/den as an exact rational. den must be non-zero.
@@ -134,18 +189,26 @@ func NewRat(num, den int64) Rat {
 	if num == 0 {
 		return Rat{}
 	}
-	return Rat{r: big.NewRat(num, den)}
+	return smallRat(num, den)
 }
 
 // FromInt returns v as an exact rational.
-func FromInt(v int64) Rat { return NewRat(v, 1) }
+func FromInt(v int64) Rat {
+	if v == 0 {
+		return Rat{}
+	}
+	if v == math.MinInt64 {
+		return Rat{r: big.NewRat(v, 1)}
+	}
+	return Rat{num: v, den: 1}
+}
 
-// FromBig returns a Rat wrapping a copy of r.
+// FromBig returns a Rat with the value of r.
 func FromBig(r *big.Rat) Rat {
 	if r == nil || r.Sign() == 0 {
 		return Rat{}
 	}
-	return Rat{r: new(big.Rat).Set(r)}
+	return normBig(new(big.Rat).Set(r))
 }
 
 // FromBigInts returns num/den as an exact rational. den must be non-zero.
@@ -157,156 +220,230 @@ func FromBigInts(num, den *big.Int) Rat {
 		return Rat{}
 	}
 	r := new(big.Rat).SetFrac(new(big.Int).Set(num), new(big.Int).Set(den))
-	return Rat{r: r}
+	return normBig(r)
 }
 
 // Big returns a copy of x as a *big.Rat.
 func (x Rat) Big() *big.Rat {
-	if x.r == nil {
+	if x.r != nil {
+		return new(big.Rat).Set(x.r)
+	}
+	if x.num == 0 {
 		return new(big.Rat)
 	}
-	return new(big.Rat).Set(x.r)
+	return big.NewRat(x.num, x.den)
 }
 
 // IsZero reports whether x is exactly zero.
-func (x Rat) IsZero() bool { return x.r == nil || x.r.Sign() == 0 }
+func (x Rat) IsZero() bool { return x.r == nil && x.num == 0 }
 
 // Sign returns -1, 0 or +1 according to the sign of x.
 func (x Rat) Sign() int {
-	if x.r == nil {
-		return 0
+	if x.r != nil {
+		return x.r.Sign()
 	}
-	return x.r.Sign()
+	switch {
+	case x.num > 0:
+		return 1
+	case x.num < 0:
+		return -1
+	}
+	return 0
 }
 
 // Cmp compares x and y, returning -1, 0 or +1.
 func (x Rat) Cmp(y Rat) int {
+	if x.IsZero() {
+		return -y.Sign()
+	}
+	if y.IsZero() {
+		return x.Sign()
+	}
 	if x.r == nil && y.r == nil {
-		return 0
+		if x.den == y.den {
+			switch {
+			case x.num < y.num:
+				return -1
+			case x.num > y.num:
+				return 1
+			}
+			return 0
+		}
+		a, ok1 := MulCheck(x.num, y.den)
+		b, ok2 := MulCheck(y.num, x.den)
+		if ok1 && ok2 {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		}
 	}
-	if x.r == nil {
-		return -y.r.Sign()
-	}
-	if y.r == nil {
-		return x.r.Sign()
-	}
-	return x.r.Cmp(y.r)
+	return x.asBig().Cmp(y.asBig())
 }
 
 // Add returns x + y.
 func (x Rat) Add(y Rat) Rat {
-	if x.r == nil {
+	if x.IsZero() {
 		return y
 	}
-	if y.r == nil {
+	if y.IsZero() {
 		return x
 	}
-	return Rat{r: new(big.Rat).Add(x.r, y.r)}
+	if x.r == nil && y.r == nil {
+		n1, ok1 := MulCheck(x.num, y.den)
+		n2, ok2 := MulCheck(y.num, x.den)
+		if ok1 && ok2 {
+			if n, ok := AddCheck(n1, n2); ok {
+				if n == 0 {
+					return Rat{}
+				}
+				if d, ok := MulCheck(x.den, y.den); ok {
+					return smallRat(n, d)
+				}
+			}
+		}
+	}
+	return normBig(new(big.Rat).Add(x.asBig(), y.asBig()))
 }
 
 // Sub returns x - y.
-func (x Rat) Sub(y Rat) Rat {
-	if y.r == nil {
-		return x
-	}
-	if x.r == nil {
-		return Rat{r: new(big.Rat).Neg(y.r)}
-	}
-	d := new(big.Rat).Sub(x.r, y.r)
-	if d.Sign() == 0 {
-		return Rat{}
-	}
-	return Rat{r: d}
-}
+func (x Rat) Sub(y Rat) Rat { return x.Add(y.Neg()) }
 
 // Mul returns x · y.
 func (x Rat) Mul(y Rat) Rat {
-	if x.r == nil || y.r == nil {
+	if x.IsZero() || y.IsZero() {
 		return Rat{}
 	}
-	return Rat{r: new(big.Rat).Mul(x.r, y.r)}
+	if x.r == nil && y.r == nil && x.num != math.MinInt64 && y.num != math.MinInt64 {
+		// Cross-reduce before multiplying: the factors are reduced, so the
+		// cross-reduced product is reduced too and overflow is rarer.
+		g1 := Gcd(x.num, y.den)
+		g2 := Gcd(y.num, x.den)
+		n, ok1 := MulCheck(x.num/g1, y.num/g2)
+		d, ok2 := MulCheck(x.den/g2, y.den/g1)
+		if ok1 && ok2 {
+			return Rat{num: n, den: d}
+		}
+	}
+	return normBig(new(big.Rat).Mul(x.asBig(), y.asBig()))
 }
 
 // Div returns x / y. y must be non-zero.
 func (x Rat) Div(y Rat) Rat {
-	if y.r == nil {
+	if y.IsZero() {
 		panic("rat: division by zero")
 	}
-	if x.r == nil {
+	if x.IsZero() {
 		return Rat{}
 	}
-	return Rat{r: new(big.Rat).Quo(x.r, y.r)}
+	return x.Mul(y.Inv())
 }
 
 // Inv returns 1/x. x must be non-zero.
 func (x Rat) Inv() Rat {
-	if x.r == nil {
+	if x.IsZero() {
 		panic("rat: inverse of zero")
 	}
-	return Rat{r: new(big.Rat).Inv(x.r)}
+	if x.r == nil && x.num != math.MinInt64 {
+		if x.num < 0 {
+			return Rat{num: -x.den, den: -x.num}
+		}
+		return Rat{num: x.den, den: x.num}
+	}
+	return normBig(new(big.Rat).Inv(x.asBig()))
 }
 
 // Neg returns -x.
 func (x Rat) Neg() Rat {
-	if x.r == nil {
+	if x.IsZero() {
 		return x
 	}
-	return Rat{r: new(big.Rat).Neg(x.r)}
+	if x.r == nil && x.num != math.MinInt64 {
+		return Rat{num: -x.num, den: x.den}
+	}
+	return normBig(new(big.Rat).Neg(x.asBig()))
 }
 
 // Float returns the nearest float64 to x.
 func (x Rat) Float() float64 {
-	if x.r == nil {
+	if x.r != nil {
+		f, _ := x.r.Float64()
+		return f
+	}
+	if x.num == 0 {
 		return 0
 	}
-	f, _ := x.r.Float64()
+	const exact = 1 << 53
+	if (x.num < exact && x.num > -exact) && x.den < exact {
+		// Both convert exactly; the division rounds once, correctly.
+		return float64(x.num) / float64(x.den)
+	}
+	f, _ := big.NewRat(x.num, x.den).Float64()
 	return f
 }
 
 // Num returns a copy of the numerator of x in lowest terms.
 func (x Rat) Num() *big.Int {
-	if x.r == nil {
-		return new(big.Int)
+	if x.r != nil {
+		return new(big.Int).Set(x.r.Num())
 	}
-	return new(big.Int).Set(x.r.Num())
+	return big.NewInt(x.num)
 }
 
 // Den returns a copy of the denominator of x in lowest terms (always > 0).
 func (x Rat) Den() *big.Int {
-	if x.r == nil {
+	if x.r != nil {
+		return new(big.Int).Set(x.r.Denom())
+	}
+	if x.num == 0 {
 		return big.NewInt(1)
 	}
-	return new(big.Int).Set(x.r.Denom())
+	return big.NewInt(x.den)
 }
 
 // String formats x as "num/den", or "num" when the denominator is 1.
 func (x Rat) String() string {
-	if x.r == nil {
+	if x.r != nil {
+		if x.r.IsInt() {
+			return x.r.Num().String()
+		}
+		return x.r.RatString()
+	}
+	if x.num == 0 {
 		return "0"
 	}
-	if x.r.IsInt() {
-		return x.r.Num().String()
+	if x.den == 1 {
+		return strconv.FormatInt(x.num, 10)
 	}
-	return x.r.RatString()
+	return strconv.FormatInt(x.num, 10) + "/" + strconv.FormatInt(x.den, 10)
 }
 
 // Format renders x as a decimal with the given number of fractional digits.
 func (x Rat) Format(digits int) string {
-	if x.r == nil {
+	if x.IsZero() {
 		return "0"
 	}
-	return x.r.FloatString(digits)
+	return x.asBig().FloatString(digits)
 }
 
 // Int64 returns x as an int64 if x is an integer fitting in 64 bits.
 func (x Rat) Int64() (int64, bool) {
-	if x.r == nil {
+	if x.r != nil {
+		if !x.r.IsInt() || !x.r.Num().IsInt64() {
+			return 0, false
+		}
+		return x.r.Num().Int64(), true
+	}
+	if x.num == 0 {
 		return 0, true
 	}
-	if !x.r.IsInt() || !x.r.Num().IsInt64() {
+	if x.den != 1 {
 		return 0, false
 	}
-	return x.r.Num().Int64(), true
+	return x.num, true
 }
 
 // Equal reports whether x and y are the same rational.
