@@ -190,8 +190,8 @@ func runBatch(e *engine.Engine, paths []string, tmpl requestTemplate, out io.Wri
 			io.WriteString(out, "\n")
 		}
 	} else {
-		fmt.Fprintf(out, "\nbatch: %d graphs in %v (%d evaluated, %d cache hits, %d deduped, hit rate %.0f%%, mean eval %.1fms)\n",
-			len(paths), elapsed.Round(time.Millisecond), s.Evaluations, s.CacheHits, s.Deduped, 100*s.HitRate, s.MeanLatencyMS)
+		fmt.Fprintf(out, "\nbatch: %d graphs, %d failed in %v (%d evaluated, %d cache hits, %d deduped, hit rate %.0f%%, mean eval %.1fms)\n",
+			len(paths), failed, elapsed.Round(time.Millisecond), s.Evaluations, s.CacheHits, s.Deduped, 100*s.HitRate, s.MeanLatencyMS)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d graphs failed", failed, len(paths))

@@ -7,6 +7,12 @@
 //	                ["throughput", …], "method": "race", "capacities":
 //	                false}); the response carries the analysis result plus
 //	                a cache/latency stats snapshot
+//	POST /sweep     expand a parametric sweep spec ({"base": graph,
+//	                "parameters": [{"name", "target", "values"|"range"},
+//	                …]}) into a scenario family and stream one NDJSON line
+//	                per scenario plus a closing {"envelope": …} aggregate
+//	                (min/max throughput, argmin/argmax, optional Pareto
+//	                front); disconnecting cancels the remaining scenarios
 //	GET  /healthz   liveness probe
 //	GET  /stats     engine telemetry (cache hit rate, latency, race wins)
 //
@@ -25,11 +31,16 @@
 //
 //	kiterd -batch graphs/ -ndjson | jq .result.throughput.period
 //
+// Sweep mode runs one parametric spec file through the same NDJSON
+// streaming path and exits non-zero when any scenario fails:
+//
+//	kiterd -sweep spec.json | jq 'select(.envelope).envelope.maxThroughput'
+//
 // Usage:
 //
 //	kiterd [-addr :8080] [-workers N] [-cache N] [-method race]
 //	       [-analyses throughput] [-capacities] [-timeout 60s]
-//	       [-batch dir-or-manifest]
+//	       [-batch dir-or-manifest] [-sweep spec.json]
 package main
 
 import (
@@ -76,6 +87,7 @@ func run() error {
 		batchSeed  = flag.Int64("batch-seed", 1, "generation seed for -batch-suite")
 		batchDir   = flag.String("batch-dir", "", "directory to materialize -batch-suite graphs into (default: temp dir)")
 		ndjson     = flag.Bool("ndjson", false, "batch mode: stream one JSON result line per graph as jobs finish, plus a summary line")
+		sweepSpec  = flag.String("sweep", "", "sweep mode: expand a parametric spec file into a scenario family, stream NDJSON results and exit")
 	)
 	flag.Parse()
 
@@ -109,6 +121,8 @@ func run() error {
 	}
 
 	switch {
+	case *sweepSpec != "":
+		return runSweepFile(e, *sweepSpec, tmpl, os.Stdout)
 	case *batchSuite != "":
 		dir := *batchDir
 		if dir == "" {

@@ -13,8 +13,8 @@ import (
 	"kiter/internal/sdf3x"
 )
 
-// maxBodyBytes bounds /analyze request bodies (64 MiB covers the largest
-// Table 2 instances with room to spare).
+// maxBodyBytes bounds /analyze and /sweep request bodies (64 MiB covers the
+// largest Table 2 instances with room to spare).
 const maxBodyBytes = 64 << 20
 
 // server is the HTTP front-end over the analysis engine.
@@ -22,11 +22,14 @@ type server struct {
 	e    *engine.Engine
 	tmpl requestTemplate
 	mux  *http.ServeMux
+	// maxBody bounds request bodies; overridable in tests.
+	maxBody int64
 }
 
 func newServer(e *engine.Engine, tmpl requestTemplate) *server {
-	s := &server{e: e, tmpl: tmpl, mux: http.NewServeMux()}
+	s := &server{e: e, tmpl: tmpl, mux: http.NewServeMux(), maxBody: maxBodyBytes}
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	return s
@@ -58,23 +61,30 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+	body, ok := s.readBody(w, r)
+	if !ok {
 		return
 	}
-	if len(body) > maxBodyBytes {
-		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxBodyBytes)
-		return
+	// Probe for the "graph" key to tell an envelope from a bare graph body;
+	// envelopes are then decoded strictly so a typo'd knob ("metod",
+	// "anlyses") fails loudly instead of silently running the defaults.
+	var probe struct {
+		Graph json.RawMessage `json:"graph"`
 	}
-	var env analyzeEnvelope
-	if err := json.Unmarshal(body, &env); err != nil {
+	if err := json.Unmarshal(body, &probe); err != nil {
 		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	graphJSON := env.Graph
-	if graphJSON == nil {
-		graphJSON = body // bare graph body
+	var env analyzeEnvelope
+	graphJSON := json.RawMessage(body) // bare graph body
+	if probe.Graph != nil {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&env); err != nil {
+			httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+			return
+		}
+		graphJSON = env.Graph
 	}
 	g, err := sdf3x.ReadJSON(bytes.NewReader(graphJSON))
 	if err != nil {
@@ -125,6 +135,21 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, analyzeResponse{Result: res, Stats: s.e.Stats()})
+}
+
+// readBody reads a POST body under the server's size cap, writing the
+// 400/413 error response itself when the read fails or the cap is hit.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: %v", err)
+		return nil, false
+	}
+	if int64(len(body)) > s.maxBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.maxBody)
+		return nil, false
+	}
+	return body, true
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

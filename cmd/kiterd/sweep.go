@@ -1,0 +1,127 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"kiter/internal/engine"
+	"kiter/internal/sweep"
+)
+
+// sweepEnvelopeLine closes a sweep stream with the aggregate.
+type sweepEnvelopeLine struct {
+	Envelope *sweep.Envelope `json:"envelope"`
+}
+
+// handleSweep serves POST /sweep: a parametric sweep spec in, one NDJSON
+// line per scenario out (in completion order, flushed as produced), then a
+// single {"envelope": …} line. Disconnecting mid-stream cancels every
+// scenario still in flight.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	spec, err := sweep.ParseSpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.tmpl.applySpec(spec)
+	x, err := sweep.Compile(spec, s.tmpl.Capacities)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// From here on the response is a stream: the status line is committed
+	// before the first scenario resolves, so runtime failures surface as
+	// an envelope-less error line rather than a status change.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(p sweep.Point) error {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	// The configured analysis timeout applies per scenario, not to the
+	// sweep as a whole: a long family of fast solves streams to completion
+	// while one pathological scenario still cannot pin a worker forever.
+	runner := sweep.Runner{Engine: s.e, PointTimeout: s.tmpl.Timeout}
+	env, err := runner.Run(r.Context(), x, emit)
+	if err != nil {
+		// The client is usually gone (emit error / context cancel); write
+		// the error line anyway for proxies that buffered the stream.
+		_ = enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	_ = enc.Encode(sweepEnvelopeLine{Envelope: env})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// applySpec fills a spec's unset analysis knobs from the per-process
+// defaults, mirroring what /analyze does for its envelope.
+func (tmpl requestTemplate) applySpec(spec *sweep.Spec) {
+	if spec.Method == "" {
+		spec.Method = string(tmpl.Method)
+	}
+	if len(spec.Analyses) == 0 {
+		for _, a := range tmpl.Analyses {
+			spec.Analyses = append(spec.Analyses, string(a))
+		}
+	}
+}
+
+// runSweepFile is the batch front-end behind kiterd -sweep: it loads a spec
+// file, streams the family through the engine, writes one NDJSON line per
+// scenario plus the closing envelope line to out, and fails (non-zero exit
+// through main) when any scenario failed to materialize or submit.
+func runSweepFile(e *engine.Engine, path string, tmpl requestTemplate, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	spec, err := sweep.ParseSpec(data)
+	if err != nil {
+		return err
+	}
+	tmpl.applySpec(spec)
+	x, err := sweep.Compile(spec, tmpl.Capacities)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	// The -timeout budget bounds each scenario, mirroring batch mode's
+	// per-graph deadline; the sweep as a whole runs to completion.
+	runner := sweep.Runner{Engine: e, PointTimeout: tmpl.Timeout}
+	env, err := runner.Run(context.Background(), x, func(p sweep.Point) error {
+		return enc.Encode(p)
+	})
+	if err != nil {
+		return err
+	}
+	if err := enc.Encode(sweepEnvelopeLine{Envelope: env}); err != nil {
+		return err
+	}
+	if env.Failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed", env.Failed, env.Scenarios)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package csdf
+
+import (
+	"testing"
+)
+
+func editBase() *Graph {
+	g := NewGraph("edit-base")
+	a := g.AddTask("A", []int64{1, 2})
+	b := g.AddSDFTask("B", 3)
+	g.AddBuffer("ab", a, b, []int64{2, 3}, []int64{5}, 0)
+	g.AddBuffer("ba", b, a, []int64{5}, []int64{2, 3}, 5)
+	return g
+}
+
+func TestCloneWithEditsSubstitutes(t *testing.T) {
+	g := editBase()
+	c, err := g.CloneWithEdits(
+		SetDuration(0, 2, 7),
+		SetProduction(0, 1, 4),
+		SetConsumption(1, 0, 9),
+		SetInitial(1, 42),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Task(0).Durations[1]; got != 7 {
+		t.Fatalf("duration = %d, want 7", got)
+	}
+	if got := c.Buffer(0).In[0]; got != 4 {
+		t.Fatalf("production = %d, want 4", got)
+	}
+	// Phase 0 applies to every entry of the vector.
+	for i, v := range c.Buffer(1).Out {
+		if v != 9 {
+			t.Fatalf("consumption[%d] = %d, want 9", i, v)
+		}
+	}
+	if got := c.Buffer(1).Initial; got != 42 {
+		t.Fatalf("initial = %d, want 42", got)
+	}
+	// The base graph is untouched.
+	if g.Task(0).Durations[1] != 2 || g.Buffer(0).In[0] != 2 || g.Buffer(1).Out[0] != 2 || g.Buffer(1).Initial != 5 {
+		t.Fatal("base graph mutated by CloneWithEdits")
+	}
+}
+
+func TestCloneWithEditsSharesUntouchedSlices(t *testing.T) {
+	g := editBase()
+	c, err := g.CloneWithEdits(SetDuration(0, 1, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The edited task's durations are detached; everything else is shared
+	// with the base (copy-on-write).
+	if &c.Task(0).Durations[0] == &g.Task(0).Durations[0] {
+		t.Fatal("edited slice still shared with base")
+	}
+	if &c.Task(1).Durations[0] != &g.Task(1).Durations[0] {
+		t.Fatal("untouched duration slice was copied")
+	}
+	if &c.Buffer(0).In[0] != &g.Buffer(0).In[0] || &c.Buffer(0).Out[0] != &g.Buffer(0).Out[0] {
+		t.Fatal("untouched rate slices were copied")
+	}
+}
+
+func TestCloneWithEditsStackedOnOneSite(t *testing.T) {
+	g := editBase()
+	// All-phases then per-phase on the same vector: later edits win.
+	c, err := g.CloneWithEdits(SetDuration(0, 0, 5), SetDuration(0, 2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Task(0).Durations[0] != 5 || c.Task(0).Durations[1] != 8 {
+		t.Fatalf("durations = %v, want [5 8]", c.Task(0).Durations)
+	}
+}
+
+func TestCloneWithEditsRejectsBadSites(t *testing.T) {
+	g := editBase()
+	cases := []struct {
+		name string
+		edit Edit
+	}{
+		{"unknown task", SetDuration(9, 0, 1)},
+		{"negative task", SetDuration(-1, 0, 1)},
+		{"phase out of range", SetDuration(0, 3, 1)},
+		{"unknown buffer", SetInitial(5, 1)},
+		{"production phase out of range", SetProduction(1, 2, 1)},
+		{"consumption phase out of range", SetConsumption(0, 2, 1)},
+	}
+	for _, c := range cases {
+		if _, err := g.CloneWithEdits(c.edit); err == nil {
+			t.Errorf("%s: edit accepted", c.name)
+		}
+	}
+}
+
+func TestCloneWithEditsInvalidValuesCaughtByValidate(t *testing.T) {
+	g := editBase()
+	c, err := g.CloneWithEdits(SetDuration(0, 1, -1))
+	if err != nil {
+		t.Fatalf("materialization should succeed: %v", err)
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative duration passed Validate")
+	}
+	c, err = g.CloneWithEdits(SetProduction(0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero total production passed Validate")
+	}
+}
+
+func TestCloneWithEditsFingerprintEquality(t *testing.T) {
+	g := editBase()
+	// A clone with no edits is structurally identical to the base; a clone
+	// with an edit differs; re-editing back to the original value restores
+	// the fingerprint — the cache-overlap property sweeps rely on.
+	same, err := g.CloneWithEdits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.FingerprintHex() != g.FingerprintHex() {
+		t.Fatal("empty edit list changed the fingerprint")
+	}
+	changed, err := g.CloneWithEdits(SetInitial(1, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed.FingerprintHex() == g.FingerprintHex() {
+		t.Fatal("initial-token edit did not change the fingerprint")
+	}
+	restored, err := changed.CloneWithEdits(SetInitial(1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.FingerprintHex() != g.FingerprintHex() {
+		t.Fatal("restoring the value did not restore the fingerprint")
+	}
+}

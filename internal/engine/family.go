@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// FamilyResult couples one family member's outcome with its index in the
+// family. Exactly one of Result/Err is meaningful.
+type FamilyResult struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// FamilyConfig tunes one SubmitFamily call.
+type FamilyConfig struct {
+	// Width bounds concurrent member submissions (<= 0 picks the batch
+	// default: 2·Workers, clamped below MaxPending so a family can never
+	// trip the engine's load shedding).
+	Width int
+	// MemberTimeout bounds each member's submission individually (0 = no
+	// per-member deadline) — the per-request budget of a server, applied
+	// per scenario rather than to the family as a whole.
+	MemberTimeout time.Duration
+}
+
+// SubmitFamily streams a family of n related requests through the engine —
+// the submission pattern behind scenario sweeps and batch runs. build(i) is
+// called once per member, in order, to produce the request (a build error
+// fails that member without aborting the family); done is invoked exactly
+// once per started member, in completion order, and is serialized — done
+// implementations need no locking and may write to a stream directly.
+//
+// When ctx is cancelled, in-flight members fail with the context error,
+// members not yet started are never built or submitted, and SubmitFamily
+// returns ctx.Err() after the in-flight tail drains; members skipped this
+// way get no done callback. A member that exceeds cfg.MemberTimeout fails
+// alone with context.DeadlineExceeded without aborting the family.
+func (e *Engine) SubmitFamily(ctx context.Context, n int, cfg FamilyConfig, build func(int) (*Request, error), done func(FamilyResult)) error {
+	width := cfg.Width
+	if width <= 0 {
+		width = 2 * e.cfg.Workers
+	}
+	if e.cfg.MaxPending > 0 && width > e.cfg.MaxPending {
+		width = e.cfg.MaxPending
+	}
+	if width < 1 {
+		width = 1
+	}
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	var doneMu sync.Mutex
+	emit := func(r FamilyResult) {
+		doneMu.Lock()
+		defer doneMu.Unlock()
+		done(r)
+	}
+	for i := 0; i < n; i++ {
+		// The semaphore acquire doubles as the cancellation point: once ctx
+		// is done no further member starts, bounding the work a disconnected
+		// sweep client leaves behind to the in-flight window. The explicit
+		// Err check first gives cancellation priority over a free slot
+		// (select picks randomly when both are ready).
+		if ctx.Err() != nil {
+			wg.Wait()
+			return ctx.Err()
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		}
+		req, err := build(i)
+		if err != nil {
+			<-sem
+			emit(FamilyResult{Index: i, Err: err})
+			continue
+		}
+		wg.Add(1)
+		go func(i int, req *Request) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			mctx := ctx
+			if cfg.MemberTimeout > 0 {
+				var cancel context.CancelFunc
+				mctx, cancel = context.WithTimeout(ctx, cfg.MemberTimeout)
+				defer cancel()
+			}
+			res, err := e.Submit(mctx, req)
+			emit(FamilyResult{Index: i, Result: res, Err: err})
+		}(i, req)
+	}
+	wg.Wait()
+	return ctx.Err()
+}

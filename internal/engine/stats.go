@@ -49,8 +49,11 @@ type Stats struct {
 	Rejected  uint64 `json:"rejected"`
 	// HitRate is CacheHits / (CacheHits + CacheMisses), in [0, 1].
 	HitRate float64 `json:"hitRate"`
-	// MeanLatencyMS is the mean wall-clock evaluation time.
-	MeanLatencyMS float64 `json:"meanLatencyMs"`
+	// MeanLatencyMS is the mean wall-clock evaluation time over
+	// LatencySamples finished evaluations (Evaluations counts started
+	// ones, so the two differ by the jobs currently in flight).
+	MeanLatencyMS  float64 `json:"meanLatencyMs"`
+	LatencySamples uint64  `json:"latencySamples"`
 	// CacheEntries is the current number of memoized results.
 	CacheEntries int `json:"cacheEntries"`
 	// Workers and Pending describe the pool: configured worker count and
@@ -61,6 +64,47 @@ type Stats struct {
 	MaxPending int `json:"maxPending"`
 	// RaceWins counts portfolio-race victories per contestant.
 	RaceWins map[string]uint64 `json:"raceWins"`
+}
+
+// Delta returns the counter movement from prev to s — the per-run view a
+// sweep or batch reports in its closing summary. Monotonic counters are
+// subtracted; HitRate and MeanLatencyMS are recomputed over the window;
+// point-in-time gauges (CacheEntries, Workers, Pending, MaxPending) keep
+// s's values. prev must be an earlier snapshot of the same engine.
+func (s Stats) Delta(prev Stats) Stats {
+	d := Stats{
+		Submitted:    s.Submitted - prev.Submitted,
+		CacheHits:    s.CacheHits - prev.CacheHits,
+		CacheMisses:  s.CacheMisses - prev.CacheMisses,
+		Deduped:      s.Deduped - prev.Deduped,
+		Evaluations:  s.Evaluations - prev.Evaluations,
+		Errors:       s.Errors - prev.Errors,
+		Cancelled:    s.Cancelled - prev.Cancelled,
+		Rejected:     s.Rejected - prev.Rejected,
+		CacheEntries: s.CacheEntries,
+		Workers:      s.Workers,
+		Pending:      s.Pending,
+		MaxPending:   s.MaxPending,
+		RaceWins:     make(map[string]uint64, len(s.RaceWins)),
+	}
+	for k, v := range s.RaceWins {
+		d.RaceWins[k] = v - prev.RaceWins[k]
+	}
+	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
+		d.HitRate = float64(d.CacheHits) / float64(lookups)
+	}
+	// Mean latency over the window, reconstructed from the cumulative
+	// means over *finished* evaluations (LatencySamples, not Evaluations —
+	// the latter counts in-flight jobs whose latency is not yet recorded).
+	d.LatencySamples = s.LatencySamples - prev.LatencySamples
+	if d.LatencySamples > 0 {
+		d.MeanLatencyMS = (s.MeanLatencyMS*float64(s.LatencySamples) -
+			prev.MeanLatencyMS*float64(prev.LatencySamples)) / float64(d.LatencySamples)
+		if d.MeanLatencyMS < 0 { // float cancellation on near-equal sums
+			d.MeanLatencyMS = 0
+		}
+	}
+	return d
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -90,6 +134,7 @@ func (e *Engine) Stats() Stats {
 		s.HitRate = float64(hits) / float64(hits+misses)
 	}
 	if n := e.stats.latencyCount.Load(); n > 0 {
+		s.LatencySamples = n
 		s.MeanLatencyMS = float64(e.stats.latencyNanos.Load()) / float64(n) / 1e6
 	}
 	return s

@@ -1,0 +1,28 @@
+package gen
+
+import (
+	"kiter/internal/csdf"
+)
+
+// VideoPipeline returns the H.264-style encoder front end of
+// examples/videopipeline: macroblock-phased motion estimation, a
+// reference-frame feedback loop and a rate-control credit loop. It is the
+// canonical base graph for scenario sweeps — every named task and buffer is
+// a plausible design parameter (search duration, reference window, credit
+// tokens).
+func VideoPipeline() *csdf.Graph {
+	const mbPerFrame = 16
+	g := csdf.NewGraph("video-encoder")
+	camera := g.AddSDFTask("camera", 10)
+	me := g.AddTask("motion-est", []int64{2, 6})
+	tq := g.AddSDFTask("transform", 3)
+	ec := g.AddSDFTask("entropy", 20)
+	recon := g.AddSDFTask("recon", 4)
+	g.AddBuffer("frames", camera, me, []int64{mbPerFrame}, []int64{1, 1}, 0)
+	g.AddBuffer("mbs", me, tq, []int64{1, 1}, []int64{1}, 0)
+	g.AddBuffer("coeffs", tq, ec, []int64{1}, []int64{mbPerFrame}, 0)
+	g.AddBuffer("to-recon", tq, recon, []int64{1}, []int64{1}, 0)
+	g.AddBuffer("reference", recon, me, []int64{1}, []int64{0, 2}, mbPerFrame)
+	g.AddBuffer("rate-ctl", ec, camera, []int64{1}, []int64{1}, 2)
+	return g
+}

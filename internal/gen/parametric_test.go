@@ -1,0 +1,44 @@
+package gen
+
+import (
+	"testing"
+
+	"kiter/internal/kperiodic"
+)
+
+// TestVideoPipelineFixture pins the sweep base graph: consistent, live,
+// and matching the examples/videopipeline structure it mirrors.
+func TestVideoPipelineFixture(t *testing.T) {
+	g := VideoPipeline()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 5 || g.NumBuffers() != 6 {
+		t.Fatalf("%d tasks / %d buffers", g.NumTasks(), g.NumBuffers())
+	}
+	for _, name := range []string{"camera", "motion-est", "transform", "entropy", "recon"} {
+		if _, ok := g.TaskByName(name); !ok {
+			t.Fatalf("task %q missing", name)
+		}
+	}
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, _ := g.TaskByName("motion-est")
+	camera, _ := g.TaskByName("camera")
+	// 16 macroblock pairs per frame: q_me = 8·q_camera.
+	if q[me] != 8*q[camera] {
+		t.Fatalf("q = %v", q)
+	}
+	if !certifyLive(g) {
+		t.Fatal("fixture is not live")
+	}
+	ev, err := kperiodic.KIter(g, kperiodic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Optimal || ev.Period.Sign() <= 0 {
+		t.Fatalf("fixture K-Iter result: %+v", ev)
+	}
+}

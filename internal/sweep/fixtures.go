@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"kiter/internal/csdf"
+	"kiter/internal/gen"
+	"kiter/internal/sdf3x"
+)
+
+// GraphJSON marshals a graph into the wire form sweep specs embed as their
+// base.
+func GraphJSON(g *csdf.Graph) json.RawMessage {
+	var buf bytes.Buffer
+	if err := sdf3x.WriteJSON(&buf, g); err != nil {
+		// The repository JSON writer only fails on I/O, which bytes.Buffer
+		// never reports.
+		panic(fmt.Sprintf("sweep: marshaling graph: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// VideoPipelineSpec returns a two-parameter sweep over gen.VideoPipeline:
+// the motion-estimation search duration crossed with the reference-window
+// token count — rows·cols scenarios exploring how much search time the
+// reference loop can absorb. It is the README's runnable example and the
+// acceptance fixture for the ≥100-scenario streaming test.
+func VideoPipelineSpec(rows, cols int) *Spec {
+	search := make([]int64, rows)
+	for i := range search {
+		search[i] = int64(2 + i)
+	}
+	return &Spec{
+		Base: GraphJSON(gen.VideoPipeline()),
+		Parameters: []Param{
+			{
+				Name:   "search",
+				Target: Target{Kind: "duration", Task: "motion-est", Phase: 2},
+				Values: search,
+			},
+			{
+				Name:   "window",
+				Target: Target{Kind: "initial", Buffer: "reference"},
+				Range:  &Range{From: 16, To: int64(16 + 2*(cols-1)), Step: 2},
+			},
+		},
+		Pareto: "window",
+	}
+}
+
+// RandomSpec returns a seeded random parametric sweep over a
+// gen.RandomSmall base graph: 1–3 parameters targeting random valid sites
+// (durations, rates, initial tokens) with small value lists or ranges.
+// Deterministic in seed. Specs are always well-formed — the scenario
+// *outcomes* may legitimately include analysis errors (a rate substitution
+// can make a graph inconsistent, a token substitution can deadlock it),
+// which is exactly what the property harness wants to cross-check.
+func RandomSpec(seed int64) (*Spec, error) {
+	rng := rand.New(rand.NewSource(seed))
+	base, err := gen.RandomSmall(rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	spec := &Spec{Base: GraphJSON(base)}
+	nparams := 1 + rng.Intn(3)
+	// Overlapping sites are a compile error (a later parameter would
+	// shadow an earlier one), so re-draw collisions; on a tiny base graph
+	// the parameter list may come up shorter than drawn.
+	taken := func(t Target) bool {
+		s1, err := t.resolve(base, "probe")
+		if err != nil {
+			return true
+		}
+		for _, q := range spec.Parameters {
+			s2, err := q.Target.resolve(base, q.Name)
+			if err == nil && s1.overlaps(s2) {
+				return true
+			}
+		}
+		return false
+	}
+	for p := 0; p < nparams; p++ {
+		name := fmt.Sprintf("p%d", p)
+		var t Target
+		var tokens *csdf.Buffer
+		// Weighted site choice: durations dominate (they always preserve
+		// consistency, so most scenarios analyze successfully), initial
+		// tokens next (may deadlock — a legitimate analysis error), and
+		// rates occasionally (usually break consistency — also legitimate).
+		switch rng.Intn(8) {
+		case 0: // production rate
+			b := base.Buffer(csdf.BufferID(rng.Intn(base.NumBuffers())))
+			t = Target{Kind: "production", Buffer: b.Name, Phase: rng.Intn(len(b.In) + 1)}
+		case 1: // consumption rate
+			b := base.Buffer(csdf.BufferID(rng.Intn(base.NumBuffers())))
+			t = Target{Kind: "consumption", Buffer: b.Name, Phase: rng.Intn(len(b.Out) + 1)}
+		case 2, 3: // initial tokens, biased above the base marking
+			tokens = base.Buffer(csdf.BufferID(rng.Intn(base.NumBuffers())))
+			t = Target{Kind: "initial", Buffer: tokens.Name}
+		default: // task duration
+			task := base.Task(csdf.TaskID(rng.Intn(base.NumTasks())))
+			t = Target{Kind: "duration", Task: task.Name, Phase: rng.Intn(task.Phases() + 1)}
+		}
+		if taken(t) {
+			continue // collision on a tiny base graph; draw fewer parameters
+		}
+		param := Param{Name: name, Target: t}
+		switch {
+		case tokens != nil:
+			param.Range = &Range{From: tokens.Initial, To: tokens.Initial + 1 + rng.Int63n(4)}
+		case rng.Intn(2) == 0:
+			n := 1 + rng.Intn(3)
+			for i := 0; i < n; i++ {
+				param.Values = append(param.Values, 1+rng.Int63n(6))
+			}
+		default:
+			from := 1 + rng.Int63n(4)
+			param.Range = &Range{From: from, To: from + rng.Int63n(4), Step: 1 + rng.Int63n(2)}
+		}
+		spec.Parameters = append(spec.Parameters, param)
+	}
+	if len(spec.Parameters) == 0 {
+		// Every draw collided; fall back to a guaranteed-fresh duration
+		// sweep on the first task so the spec always compiles.
+		task := base.Task(0)
+		spec.Parameters = append(spec.Parameters, Param{
+			Name:   "p0",
+			Target: Target{Kind: "duration", Task: task.Name, Phase: 1},
+			Values: []int64{1, 2, 3},
+		})
+	}
+	return spec, nil
+}

@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"kiter/internal/gen"
+)
+
+// FuzzParseSpec throws arbitrary bytes at the spec parser, compiler and
+// expander: malformed JSON, unknown fields, empty/inverted ranges,
+// zero/negative rates and cross-product blowups must all surface as errors
+// — never as a panic — and whatever compiles must materialize cleanly or
+// fail scenario-locally.
+func FuzzParseSpec(f *testing.F) {
+	// Well-formed seeds: the canonical fixture plus targeted mutations that
+	// sit on each validation boundary.
+	if data, err := json.Marshal(VideoPipelineSpec(3, 3)); err == nil {
+		f.Add(data)
+	}
+	if spec, err := RandomSpec(7); err == nil {
+		if data, err := json.Marshal(spec); err == nil {
+			f.Add(data)
+		}
+	}
+	chain := string(GraphJSON(gen.TwoTaskChain(3, 4)))
+	f.Add([]byte(`{"base": ` + chain + `, "parameters": [{"name": "p", "target": {"kind": "duration", "task": "A"}, "values": [1, 2]}]}`))
+	f.Add([]byte(`{"base": ` + chain + `, "parameters": [{"name": "p", "target": {"kind": "production", "buffer": "A->B"}, "range": {"from": 0, "to": 3}}]}`))
+	f.Add([]byte(`{"base": ` + chain + `, "parameters": [{"name": "p", "target": {"kind": "initial", "buffer": "A->B"}, "range": {"from": 5, "to": 1}}]}`))
+	f.Add([]byte(`{"base": ` + chain + `, "parameters": [{"name": "p", "target": {"kind": "duration", "task": "A"}, "range": {"from": 0, "to": 9007199254740993}}]}`))
+	f.Add([]byte(`{"base": {}, "parameters": []}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		x, err := Compile(spec, false)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("compile error %q is not a *SpecError", err)
+			}
+			return
+		}
+		if x.Total() < 1 || x.Total() > HardMaxScenarios {
+			t.Fatalf("total %d outside (0, %d]", x.Total(), HardMaxScenarios)
+		}
+		// Materialize a bounded sample; every scenario must either build a
+		// valid graph or fail with an error, never panic, and never mutate
+		// the base.
+		baseFP := x.Base().FingerprintHex()
+		limit := x.Total()
+		if limit > 64 {
+			limit = 64
+		}
+		for i := 0; i < limit; i++ {
+			if g, err := x.Materialize(i); err == nil {
+				if err := g.Validate(); err != nil {
+					t.Fatalf("scenario %d: materialized graph fails validation: %v", i, err)
+				}
+			}
+			vals := x.Values(i)
+			if len(vals) != len(x.ParamNames()) {
+				t.Fatalf("scenario %d: %d values for %d parameters", i, len(vals), len(x.ParamNames()))
+			}
+		}
+		if x.Base().FingerprintHex() != baseFP {
+			t.Fatal("materialization mutated the base graph")
+		}
+	})
+}
+
+// FuzzExpandRange drives the range expander over arbitrary int64 corners
+// (extreme From/To, huge steps, overflow-adjacent bounds): it must either
+// reject the range or generate a value list that starts at From, steps
+// uniformly and never leaves [From, To].
+func FuzzExpandRange(f *testing.F) {
+	f.Add(int64(1), int64(10), int64(1))
+	f.Add(int64(-5), int64(5), int64(3))
+	f.Add(int64(0), int64(0), int64(0))
+	f.Add(int64(9223372036854775807), int64(9223372036854775807), int64(1))
+	f.Add(int64(-9223372036854775808), int64(9223372036854775807), int64(1))
+	f.Add(int64(5), int64(1), int64(1))
+	f.Add(int64(0), int64(1<<40), int64(1))
+	f.Fuzz(func(t *testing.T, from, to, step int64) {
+		p := Param{Name: "p", Range: &Range{From: from, To: to, Step: step}}
+		vs, err := p.values()
+		if err != nil {
+			return
+		}
+		if len(vs) == 0 || len(vs) > HardMaxScenarios {
+			t.Fatalf("range %d..%d/%d: %d values", from, to, step, len(vs))
+		}
+		if vs[0] != from {
+			t.Fatalf("range %d..%d/%d starts at %d", from, to, step, vs[0])
+		}
+		eff := step
+		if eff == 0 {
+			eff = 1
+		}
+		for i, v := range vs {
+			if v < from || v > to {
+				t.Fatalf("range %d..%d/%d: value %d outside bounds", from, to, step, v)
+			}
+			if i > 0 && v-vs[i-1] != eff {
+				t.Fatalf("range %d..%d/%d: non-uniform step at %d", from, to, step, i)
+			}
+		}
+		// Maximal: one more step would leave the range. uint64 keeps the
+		// difference exact when to−last would overflow int64.
+		if last := vs[len(vs)-1]; uint64(to-last) >= uint64(eff) {
+			t.Fatalf("range %d..%d/%d: stops early at %d", from, to, step, last)
+		}
+	})
+}
+
+// FuzzTargetResolve drives target resolution over arbitrary names, kinds
+// and phases against a fixed multi-phase base graph: resolution must
+// accept exactly the structurally valid sites and reject everything else
+// without panicking, and an accepted site must materialize.
+func FuzzTargetResolve(f *testing.F) {
+	f.Add("duration", "B", "", 2, int64(9))
+	f.Add("production", "", "B->C", 1, int64(7))
+	f.Add("consumption", "", "C->A", 0, int64(3))
+	f.Add("initial", "", "A->D", 0, int64(0))
+	f.Add("tokens", "A", "A->B", -1, int64(-4))
+	f.Fuzz(func(t *testing.T, kind, task, buffer string, phase int, value int64) {
+		base := gen.Figure2()
+		tgt := Target{Kind: kind, Task: task, Buffer: buffer, Phase: phase}
+		st, err := tgt.resolve(base, "p")
+		if err != nil {
+			return
+		}
+		if _, err := base.CloneWithEdits(st.edit(value)); err != nil {
+			t.Fatalf("resolved site %+v failed to materialize: %v", tgt, err)
+		}
+	})
+}

@@ -1,0 +1,306 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"kiter/internal/gen"
+)
+
+// mustCompile parses and compiles a spec literal.
+func mustCompile(t *testing.T, spec *Spec) *Expansion {
+	t.Helper()
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := Compile(parsed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	cases := []string{
+		`{"base": {}, "vaules": []}`,
+		`{"base": {}, "parameters": [{"name": "p", "tarqet": {}}]}`,
+		`{"base": {}, "parameters": [], "pareto": 3}`,
+		`not json at all`,
+		`{"base": {}} trailing`,
+	}
+	for _, c := range cases {
+		if _, err := ParseSpec([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestCompileScenarioEnumeration(t *testing.T) {
+	x := mustCompile(t, &Spec{
+		Base: GraphJSON(gen.TwoTaskChain(3, 4)),
+		Parameters: []Param{
+			{Name: "dA", Target: Target{Kind: "duration", Task: "A"}, Values: []int64{1, 2, 3}},
+			{Name: "dB", Target: Target{Kind: "duration", Task: "B"}, Range: &Range{From: 10, To: 20, Step: 5}},
+		},
+	})
+	if x.Total() != 9 {
+		t.Fatalf("total = %d, want 9", x.Total())
+	}
+	if got := x.ParamNames(); got[0] != "dA" || got[1] != "dB" {
+		t.Fatalf("names = %v", got)
+	}
+	// Row-major, last parameter fastest: scenario 0 = (1,10), 1 = (1,15),
+	// 3 = (2,10), 8 = (3,20).
+	for _, c := range []struct {
+		i    int
+		want [2]int64
+	}{{0, [2]int64{1, 10}}, {1, [2]int64{1, 15}}, {3, [2]int64{2, 10}}, {8, [2]int64{3, 20}}} {
+		if got := x.Values(c.i); got[0] != c.want[0] || got[1] != c.want[1] {
+			t.Fatalf("Values(%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+	a := x.Assignment(5)
+	if a["dA"] != 2 || a["dB"] != 20 {
+		t.Fatalf("Assignment(5) = %v", a)
+	}
+
+	g, err := x.Materialize(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, _ := g.TaskByName("A")
+	idB, _ := g.TaskByName("B")
+	if g.Task(idA).Durations[0] != 2 || g.Task(idB).Durations[0] != 20 {
+		t.Fatalf("materialized durations = %v / %v", g.Task(idA).Durations, g.Task(idB).Durations)
+	}
+	// The base graph itself must stay untouched across materializations.
+	base := x.Base()
+	if base.Task(idA).Durations[0] != 3 || base.Task(idB).Durations[0] != 4 {
+		t.Fatal("base graph mutated by Materialize")
+	}
+}
+
+func TestCompileTargetsAllSiteKinds(t *testing.T) {
+	base := gen.Figure2() // multi-phase tasks, named buffers
+	x := mustCompile(t, &Spec{
+		Base: GraphJSON(base),
+		Parameters: []Param{
+			{Name: "dur", Target: Target{Kind: "duration", Task: "B", Phase: 2}, Values: []int64{9}},
+			{Name: "prod", Target: Target{Kind: "production", Buffer: "B->C", Phase: 1}, Values: []int64{7}},
+			{Name: "cons", Target: Target{Kind: "consumption", Buffer: "C->A", Phase: 2}, Values: []int64{8}},
+			{Name: "m0", Target: Target{Kind: "initial", Buffer: "A->D"}, Values: []int64{21}},
+		},
+	})
+	g, err := x.Materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := g.TaskByName("B")
+	if g.Task(b).Durations[1] != 9 {
+		t.Fatalf("duration = %v", g.Task(b).Durations)
+	}
+	var checked int
+	for _, buf := range g.Buffers() {
+		switch buf.Name {
+		case "B->C":
+			if buf.In[0] != 7 {
+				t.Fatalf("production = %v", buf.In)
+			}
+			checked++
+		case "C->A":
+			if buf.Out[1] != 8 {
+				t.Fatalf("consumption = %v", buf.Out)
+			}
+			checked++
+		case "A->D":
+			if buf.Initial != 21 {
+				t.Fatalf("initial = %d", buf.Initial)
+			}
+			checked++
+		}
+	}
+	if checked != 3 {
+		t.Fatalf("checked %d buffers, want 3", checked)
+	}
+}
+
+func TestCompileRejectsBadSpecs(t *testing.T) {
+	base := GraphJSON(gen.TwoTaskChain(1, 2))
+	dur := func(task string) Target { return Target{Kind: "duration", Task: task} }
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"no base", Spec{Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{1}}}}, "no base graph"},
+		{"bad base", Spec{Base: json.RawMessage(`{"tasks": [{"name": "a"}]}`), Parameters: []Param{{Name: "p", Target: dur("a"), Values: []int64{1}}}}, "base graph"},
+		{"no parameters", Spec{Base: base}, "no parameters"},
+		{"unnamed parameter", Spec{Base: base, Parameters: []Param{{Target: dur("A"), Values: []int64{1}}}}, "no name"},
+		{"duplicate name", Spec{Base: base, Parameters: []Param{
+			{Name: "p", Target: dur("A"), Values: []int64{1}},
+			{Name: "p", Target: dur("B"), Values: []int64{1}},
+		}}, "duplicate"},
+		{"no values", Spec{Base: base, Parameters: []Param{{Name: "p", Target: dur("A")}}}, "no values"},
+		{"empty values list", Spec{Base: base, Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{}}}}, "empty values"},
+		{"values and range", Spec{Base: base, Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{1}, Range: &Range{From: 1, To: 2}}}}, "both"},
+		{"empty values and range", Spec{Base: base, Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{}, Range: &Range{From: 1, To: 2}}}}, "both"},
+		{"inverted range", Spec{Base: base, Parameters: []Param{{Name: "p", Target: dur("A"), Range: &Range{From: 5, To: 1}}}}, "inverted"},
+		{"negative step", Spec{Base: base, Parameters: []Param{{Name: "p", Target: dur("A"), Range: &Range{From: 1, To: 5, Step: -1}}}}, "negative step"},
+		{"unknown kind", Spec{Base: base, Parameters: []Param{{Name: "p", Target: Target{Kind: "tokens", Buffer: "A->B"}, Values: []int64{1}}}}, "unknown target kind"},
+		{"unknown task", Spec{Base: base, Parameters: []Param{{Name: "p", Target: dur("Z"), Values: []int64{1}}}}, "unknown task"},
+		{"unknown buffer", Spec{Base: base, Parameters: []Param{{Name: "p", Target: Target{Kind: "initial", Buffer: "zzz"}, Values: []int64{1}}}}, "unknown buffer"},
+		{"duration on buffer", Spec{Base: base, Parameters: []Param{{Name: "p", Target: Target{Kind: "duration", Task: "A", Buffer: "A->B"}, Values: []int64{1}}}}, "names a buffer"},
+		{"initial on task", Spec{Base: base, Parameters: []Param{{Name: "p", Target: Target{Kind: "initial", Task: "A"}, Values: []int64{1}}}}, "names a task"},
+		{"initial with phase", Spec{Base: base, Parameters: []Param{{Name: "p", Target: Target{Kind: "initial", Buffer: "A->B", Phase: 1}, Values: []int64{1}}}}, "no phase"},
+		{"phase out of range", Spec{Base: base, Parameters: []Param{{Name: "p", Target: Target{Kind: "duration", Task: "A", Phase: 2}, Values: []int64{1}}}}, "exceeds"},
+		{"negative phase", Spec{Base: base, Parameters: []Param{{Name: "p", Target: Target{Kind: "duration", Task: "A", Phase: -1}, Values: []int64{1}}}}, "negative phase"},
+		{"rate phase out of range", Spec{Base: base, Parameters: []Param{{Name: "p", Target: Target{Kind: "production", Buffer: "A->B", Phase: 3}, Values: []int64{1}}}}, "exceeds"},
+		{"bad method", Spec{Base: base, Method: "bogus", Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{1}}}}, "unknown method"},
+		{"bad analysis", Spec{Base: base, Analyses: []string{"bogus"}, Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{1}}}}, "unknown analysis"},
+		{"bad pareto axis", Spec{Base: base, Pareto: "q", Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{1}}}}, "not a parameter"},
+		{"negative cap", Spec{Base: base, MaxScenarios: -1, Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{1}}}}, "negative maxScenarios"},
+		{"cap above hard cap", Spec{Base: base, MaxScenarios: HardMaxScenarios + 1, Parameters: []Param{{Name: "p", Target: dur("A"), Values: []int64{1}}}}, "hard cap"},
+	}
+	for _, c := range cases {
+		_, err := Compile(&c.spec, false)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var se *SpecError
+		if !errors.As(err, &se) {
+			t.Errorf("%s: error is %T, want *SpecError (%v)", c.name, err, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestCompileRejectsOverlappingTargets: two parameters editing the same
+// site would let the later one shadow the earlier, producing grid points
+// whose recorded assignment never reached the graph.
+func TestCompileRejectsOverlappingTargets(t *testing.T) {
+	base := GraphJSON(gen.Figure2())
+	cases := []struct {
+		name   string
+		t1, t2 Target
+	}{
+		{"same duration phase", Target{Kind: "duration", Task: "B", Phase: 1}, Target{Kind: "duration", Task: "B", Phase: 1}},
+		{"phase 0 shadows phase 2", Target{Kind: "duration", Task: "B"}, Target{Kind: "duration", Task: "B", Phase: 2}},
+		{"same initial", Target{Kind: "initial", Buffer: "C->A"}, Target{Kind: "initial", Buffer: "C->A"}},
+		{"same production vector", Target{Kind: "production", Buffer: "B->C", Phase: 1}, Target{Kind: "production", Buffer: "B->C"}},
+	}
+	for _, c := range cases {
+		spec := &Spec{Base: base, Parameters: []Param{
+			{Name: "a", Target: c.t1, Values: []int64{1, 2}},
+			{Name: "b", Target: c.t2, Values: []int64{3, 4}},
+		}}
+		if _, err := Compile(spec, false); err == nil || !strings.Contains(err.Error(), "same site") {
+			t.Errorf("%s: err = %v, want same-site rejection", c.name, err)
+		}
+	}
+	// Disjoint sites of the same kind stay legal.
+	ok := &Spec{Base: base, Parameters: []Param{
+		{Name: "a", Target: Target{Kind: "duration", Task: "B", Phase: 1}, Values: []int64{1, 2}},
+		{Name: "b", Target: Target{Kind: "duration", Task: "B", Phase: 2}, Values: []int64{3, 4}},
+		{Name: "c", Target: Target{Kind: "duration", Task: "A", Phase: 1}, Values: []int64{5}},
+	}}
+	if _, err := Compile(ok, false); err != nil {
+		t.Fatalf("disjoint sites rejected: %v", err)
+	}
+}
+
+func TestCompileCrossProductCap(t *testing.T) {
+	big := make([]int64, 100)
+	for i := range big {
+		big[i] = int64(i + 1)
+	}
+	spec := &Spec{
+		Base: GraphJSON(gen.TwoTaskChain(1, 2)),
+		Parameters: []Param{
+			{Name: "a", Target: Target{Kind: "duration", Task: "A"}, Values: big},
+			{Name: "b", Target: Target{Kind: "duration", Task: "B"}, Values: big},
+		},
+	}
+	// 10k scenarios: above the default cap, accepted with an explicit one.
+	if _, err := Compile(spec, false); err == nil || !strings.Contains(err.Error(), "cross product exceeds") {
+		t.Fatalf("default cap not enforced: %v", err)
+	}
+	spec.MaxScenarios = 10_000
+	x, err := Compile(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Total() != 10_000 {
+		t.Fatalf("total = %d", x.Total())
+	}
+	// A range alone can also blow the hard cap.
+	huge := &Spec{
+		Base: GraphJSON(gen.TwoTaskChain(1, 2)),
+		Parameters: []Param{
+			{Name: "a", Target: Target{Kind: "duration", Task: "A"}, Range: &Range{From: 0, To: 1 << 40}},
+		},
+	}
+	if _, err := Compile(huge, false); err == nil {
+		t.Fatal("2^40-value range accepted")
+	}
+}
+
+func TestRangeValueGeneration(t *testing.T) {
+	cases := []struct {
+		r    Range
+		want []int64
+	}{
+		{Range{From: 1, To: 5}, []int64{1, 2, 3, 4, 5}},
+		{Range{From: 0, To: 10, Step: 4}, []int64{0, 4, 8}},
+		{Range{From: 7, To: 7}, []int64{7}},
+		{Range{From: -3, To: 3, Step: 3}, []int64{-3, 0, 3}},
+	}
+	for _, c := range cases {
+		p := Param{Name: "p", Range: &c.r}
+		got, err := p.values()
+		if err != nil {
+			t.Fatalf("%+v: %v", c.r, err)
+		}
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Fatalf("%+v: got %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+// TestMaterializeSharesBaseStructure verifies the copy-on-write contract at
+// the expansion level: untouched vectors alias the base across the family.
+func TestMaterializeSharesBaseStructure(t *testing.T) {
+	x := mustCompile(t, &Spec{
+		Base: GraphJSON(gen.Figure2()),
+		Parameters: []Param{
+			{Name: "m0", Target: Target{Kind: "initial", Buffer: "C->A"}, Range: &Range{From: 0, To: 7}},
+		},
+	})
+	base := x.Base()
+	for i := 0; i < x.Total(); i++ {
+		g, err := x.Materialize(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for tid := range g.Tasks() {
+			if &g.Tasks()[tid].Durations[0] != &base.Tasks()[tid].Durations[0] {
+				t.Fatalf("scenario %d: task %d durations copied", i, tid)
+			}
+		}
+		for bid := range g.Buffers() {
+			if &g.Buffers()[bid].In[0] != &base.Buffers()[bid].In[0] {
+				t.Fatalf("scenario %d: buffer %d rates copied", i, bid)
+			}
+		}
+	}
+}
