@@ -36,14 +36,24 @@
 //
 //	kiterd -sweep spec.json | jq 'select(.envelope).envelope.maxThroughput'
 //
+// With -cache-dir, completed results are also persisted to a disk cache
+// tier under that directory (memory→disk tiered reads, write-through
+// stores), so a restarted or replicated kiterd warm-starts repeat sweeps
+// and batches from prior runs; -cache-disk-bytes caps the directory and
+// /stats reports per-tier hit counters:
+//
+//	kiterd -cache-dir /var/cache/kiterd -cache-disk-bytes 268435456
+//
 // Usage:
 //
 //	kiterd [-addr :8080] [-workers N] [-cache N] [-method race]
-//	       [-analyses throughput] [-capacities] [-timeout 60s]
+//	       [-cache-dir dir] [-cache-disk-bytes N] [-capacities]
+//	       [-analyses throughput] [-timeout 60s] [-stats-out stats.json]
 //	       [-batch dir-or-manifest] [-sweep spec.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -51,6 +61,7 @@ import (
 	"strings"
 	"time"
 
+	"kiter/internal/cachedisk"
 	"kiter/internal/engine"
 	"kiter/internal/gen"
 	"kiter/internal/kperiodic"
@@ -68,39 +79,56 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", ":8080", "HTTP listen address")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 0, "job queue depth (0 = 2×workers)")
-		cacheSize  = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
-		shards     = flag.Int("cache-shards", 16, "result cache shard count")
-		maxPending = flag.Int("max-pending", 0, "max in-flight jobs before shedding load (0 = 16×(workers+1))")
-		method     = flag.String("method", "race", "throughput method: race | kiter | periodic | expansion | symbolic")
-		analyses   = flag.String("analyses", "throughput", "comma-separated analyses: throughput,schedule,sizing,symbolic")
-		capacities = flag.Bool("capacities", false, "apply declared buffer capacities before analysis")
-		timeout    = flag.Duration("timeout", 60*time.Second, "per-request analysis timeout")
-		maxNodes   = flag.Int64("max-nodes", 2_000_000, "bi-valued graph node budget per evaluation (0 = unlimited)")
-		maxPairs   = flag.Int64("max-pairs", 50_000_000, "phase-pair budget per evaluation (0 = unlimited)")
-		symEvents  = flag.Int64("symbolic-budget", 0, "symbolic execution event budget (0 = default)")
-		batch      = flag.String("batch", "", "batch mode: analyze a directory or manifest of graph files and exit")
-		batchSuite = flag.String("batch-suite", "", "batch mode: generate a benchmark suite (actualdsp, mimicdsp, lghsdf, lgtransient) and analyze it")
-		batchCount = flag.Int("batch-count", 20, "graphs to generate with -batch-suite")
-		batchSeed  = flag.Int64("batch-seed", 1, "generation seed for -batch-suite")
-		batchDir   = flag.String("batch-dir", "", "directory to materialize -batch-suite graphs into (default: temp dir)")
-		ndjson     = flag.Bool("ndjson", false, "batch mode: stream one JSON result line per graph as jobs finish, plus a summary line")
-		sweepSpec  = flag.String("sweep", "", "sweep mode: expand a parametric spec file into a scenario family, stream NDJSON results and exit")
+		addr           = flag.String("addr", ":8080", "HTTP listen address")
+		workers        = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		queue          = flag.Int("queue", 0, "job queue depth (0 = 2×workers)")
+		cacheSize      = flag.Int("cache", 4096, "result cache capacity in entries (negative disables)")
+		shards         = flag.Int("cache-shards", 16, "result cache shard count")
+		cacheDir       = flag.String("cache-dir", "", "directory for a disk result-cache tier under the in-memory one; restarts with the same directory warm-start from prior results (empty = memory only)")
+		cacheDiskBytes = flag.Int64("cache-disk-bytes", 256<<20, "disk cache byte quota for -cache-dir; over it the oldest segments are compacted away in the background")
+		statsOut       = flag.String("stats-out", "", "batch/sweep modes: write the final engine stats snapshot as JSON to this file on exit")
+		maxPending     = flag.Int("max-pending", 0, "max in-flight jobs before shedding load (0 = 16×(workers+1))")
+		method         = flag.String("method", "race", "throughput method: race | kiter | periodic | expansion | symbolic")
+		analyses       = flag.String("analyses", "throughput", "comma-separated analyses: throughput,schedule,sizing,symbolic")
+		capacities     = flag.Bool("capacities", false, "apply declared buffer capacities before analysis")
+		timeout        = flag.Duration("timeout", 60*time.Second, "per-request analysis timeout")
+		maxNodes       = flag.Int64("max-nodes", 2_000_000, "bi-valued graph node budget per evaluation (0 = unlimited)")
+		maxPairs       = flag.Int64("max-pairs", 50_000_000, "phase-pair budget per evaluation (0 = unlimited)")
+		symEvents      = flag.Int64("symbolic-budget", 0, "symbolic execution event budget (0 = default)")
+		batch          = flag.String("batch", "", "batch mode: analyze a directory or manifest of graph files and exit")
+		batchSuite     = flag.String("batch-suite", "", "batch mode: generate a benchmark suite (actualdsp, mimicdsp, lghsdf, lgtransient) and analyze it")
+		batchCount     = flag.Int("batch-count", 20, "graphs to generate with -batch-suite")
+		batchSeed      = flag.Int64("batch-seed", 1, "generation seed for -batch-suite")
+		batchDir       = flag.String("batch-dir", "", "directory to materialize -batch-suite graphs into (default: temp dir)")
+		ndjson         = flag.Bool("ndjson", false, "batch mode: stream one JSON result line per graph as jobs finish, plus a summary line")
+		sweepSpec      = flag.String("sweep", "", "sweep mode: expand a parametric spec file into a scenario family, stream NDJSON results and exit")
 	)
 	flag.Parse()
 
+	backend, err := buildCacheBackend(*cacheDir, *cacheDiskBytes, *shards, *cacheSize)
+	if err != nil {
+		return err
+	}
 	e := engine.New(engine.Config{
 		Workers:       *workers,
 		QueueDepth:    *queue,
 		CacheCapacity: *cacheSize,
 		CacheShards:   *shards,
+		CacheBackend:  backend, // nil keeps the engine's default memory cache
 		MaxPending:    *maxPending,
 		Options:       kperiodic.Options{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
 		Symbolic:      symbexec.Options{MaxEvents: *symEvents},
 	})
 	defer e.Close()
+	if *statsOut != "" {
+		// Registered after e.Close's defer, so it unwinds before Close:
+		// the snapshot sees the live engine and cache tiers.
+		defer func() {
+			if err := writeStatsFile(*statsOut, e.Stats()); err != nil {
+				fmt.Fprintln(os.Stderr, "kiterd: writing -stats-out:", err)
+			}
+		}()
+	}
 
 	tmpl := requestTemplate{
 		Method:     engine.Method(*method),
@@ -162,6 +190,31 @@ type requestTemplate struct {
 	Analyses   []engine.AnalysisKind
 	Capacities bool
 	Timeout    time.Duration
+}
+
+// buildCacheBackend assembles the engine's memo cache from the cache
+// flags: nil (the engine's default in-memory sharded LRU) when no -cache-dir
+// is set, otherwise a memory→disk tier sharing the same memory knobs, so a
+// restarted kiterd re-answers repeat work from the disk tier while serving
+// the hot set from memory.
+func buildCacheBackend(dir string, diskBytes int64, shards, capacity int) (engine.CacheBackend, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	disk, err := cachedisk.Open(dir, cachedisk.Options{MaxBytes: diskBytes})
+	if err != nil {
+		return nil, fmt.Errorf("opening -cache-dir: %w", err)
+	}
+	return engine.NewTieredCache(engine.NewMemoryCache(shards, capacity), disk), nil
+}
+
+// writeStatsFile dumps a stats snapshot as indented JSON for -stats-out.
+func writeStatsFile(path string, s engine.Stats) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func parseAnalyses(s string) []engine.AnalysisKind {

@@ -1,0 +1,383 @@
+package cachedisk
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kiter/internal/engine"
+	"kiter/internal/gen"
+)
+
+// The store is an engine cache backend with per-tier telemetry.
+var (
+	_ engine.CacheBackend = (*Store)(nil)
+	_ engine.TierStatser  = (*Store)(nil)
+)
+
+func testResult(fp string) *engine.Result {
+	return &engine.Result{
+		Fingerprint: fp,
+		Throughput: &engine.ThroughputResult{
+			Period:     "3/2",
+			Throughput: "2/3",
+			Optimal:    true,
+			Method:     engine.MethodKIter,
+		},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put("k", testResult("fp-k"))
+	res, ok := s.Get("k")
+	if !ok || res.Fingerprint != "fp-k" || res.Throughput.Period != "3/2" {
+		t.Fatalf("roundtrip: %+v, %v", res, ok)
+	}
+	s.Put("k", testResult("fp-k2"))
+	if res, _ := s.Get("k"); res.Fingerprint != "fp-k2" {
+		t.Fatal("re-Put did not supersede the old record")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	ts := s.TierStats()
+	if len(ts) != 1 || ts[0].Tier != "disk" || ts[0].Hits != 2 || ts[0].Misses != 1 {
+		t.Fatalf("tier stats = %+v", ts)
+	}
+	if ts[0].Bytes <= 0 || ts[0].Entries != 1 {
+		t.Fatalf("tier gauges = %+v", ts[0])
+	}
+}
+
+// TestRestartPersistence is the reason this package exists: a reopened
+// directory answers everything a previous process stored.
+func TestRestartPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprint("key-", i), testResult(fmt.Sprint("fp-", i)))
+	}
+	s.Put("key-3", testResult("fp-3-superseded"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if s2.Len() != 10 {
+		t.Fatalf("reopened len = %d, want 10", s2.Len())
+	}
+	for i := 0; i < 10; i++ {
+		res, ok := s2.Get(fmt.Sprint("key-", i))
+		if !ok {
+			t.Fatalf("key-%d lost across restart", i)
+		}
+		want := fmt.Sprint("fp-", i)
+		if i == 3 {
+			want = "fp-3-superseded"
+		}
+		if res.Fingerprint != want {
+			t.Fatalf("key-%d = %q, want %q (newest record must win)", i, res.Fingerprint, want)
+		}
+	}
+}
+
+// segmentFiles returns the store directory's segment paths, oldest first.
+func segmentFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.kcache"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no segment files in %s (%v)", dir, err)
+	}
+	return paths
+}
+
+func TestTruncatedSegmentSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprint("key-", i), testResult(fmt.Sprint("fp-", i)))
+	}
+	s.Close()
+
+	// Tear the tail of the (single) segment mid-record: the last-written
+	// key dies, everything before it survives.
+	path := segmentFiles(t, dir)[0]
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if _, ok := s2.Get("key-4"); ok {
+		t.Fatal("truncated record served")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s2.Get(fmt.Sprint("key-", i)); !ok {
+			t.Fatalf("key-%d lost to an unrelated truncation", i)
+		}
+	}
+	// The torn tail was discarded, so new appends land on a well-formed
+	// boundary and survive another restart.
+	s2.Put("key-new", testResult("fp-new"))
+	s2.Close()
+	s3 := mustOpen(t, dir, Options{})
+	defer s3.Close()
+	if _, ok := s3.Get("key-new"); !ok {
+		t.Fatal("append after truncation repair lost")
+	}
+}
+
+func TestBitFlippedRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprint("key-", i), testResult(fmt.Sprint("fp-", i)))
+	}
+	s.Close()
+
+	// Flip one byte inside the last record's JSON payload: its CRC fails,
+	// the scan skips it and keeps every record before it.
+	path := segmentFiles(t, dir)[0]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if _, ok := s2.Get("key-4"); ok {
+		t.Fatal("bit-flipped record served")
+	}
+	for i := 0; i < 4; i++ {
+		if _, ok := s2.Get(fmt.Sprint("key-", i)); !ok {
+			t.Fatalf("key-%d lost to an unrelated bit flip", i)
+		}
+	}
+}
+
+func TestStaleFormatIgnored(t *testing.T) {
+	dir := t.TempDir()
+	// A future-format segment and a non-segment imposter, both named like
+	// ours: neither may poison the open, both are discarded.
+	future := []byte("KITC\x09\x00\x00\x00some future layout")
+	if err := os.WriteFile(filepath.Join(dir, "seg-000098.kcache"), future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-000099.kcache"), []byte("not a cache"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Fatalf("stale segments produced %d entries", s.Len())
+	}
+	for _, p := range segmentFiles(t, dir) {
+		if strings.HasSuffix(p, "seg-000098.kcache") || strings.HasSuffix(p, "seg-000099.kcache") {
+			t.Fatalf("stale segment %s survived open", p)
+		}
+	}
+	// New writes allocate past the discarded ids, never colliding.
+	s.Put("k", testResult("fp"))
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("store unusable after discarding stale segments")
+	}
+}
+
+// TestReadOnlySnapshotSeeding opens a directory whose segment files are
+// read-only (a snapshot of another cache): entries must be served, the
+// files must survive the open, and new writes must land in a fresh
+// segment.
+func TestReadOnlySnapshotSeeding(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprint("key-", i), testResult(fmt.Sprint("fp-", i)))
+	}
+	s.Close()
+	snapshot := segmentFiles(t, dir)
+	for _, p := range snapshot {
+		if err := os.Chmod(p, 0o444); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if s2.Len() != 5 {
+		t.Fatalf("snapshot seeded %d entries, want 5", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := s2.Get(fmt.Sprint("key-", i)); !ok {
+			t.Fatalf("key-%d unreadable from read-only snapshot", i)
+		}
+	}
+	s2.Put("key-new", testResult("fp-new"))
+	if _, ok := s2.Get("key-new"); !ok {
+		t.Fatal("write alongside a read-only snapshot failed")
+	}
+	for _, p := range snapshot {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("snapshot segment %s deleted by open: %v", p, err)
+		}
+	}
+}
+
+// TestReadOnlyDirectoryDegrades opens a cache whose directory itself is
+// unwritable: the store must come up read-only — serving every snapshot
+// entry, dropping writes — instead of failing Open.
+func TestReadOnlyDirectoryDegrades(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root bypasses directory write permissions")
+	}
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		s.Put(fmt.Sprint("key-", i), testResult(fmt.Sprint("fp-", i)))
+	}
+	s.Close()
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(dir, 0o755) }) // let TempDir cleanup succeed
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	for i := 0; i < 3; i++ {
+		if _, ok := s2.Get(fmt.Sprint("key-", i)); !ok {
+			t.Fatalf("key-%d unreadable from read-only directory", i)
+		}
+	}
+	s2.Put("key-new", testResult("fp-new"))
+	if _, ok := s2.Get("key-new"); ok {
+		t.Fatal("write accepted by a read-only store")
+	}
+}
+
+// TestQuotaCompaction fills the store well past its byte quota and waits
+// for the background compactor to evict oldest segments back under it.
+func TestQuotaCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{MaxBytes: 8 << 10, SegmentBytes: 1 << 10})
+	defer s.Close()
+	const n = 200
+	for i := 0; i < n; i++ {
+		s.Put(fmt.Sprint("key-", i), testResult(fmt.Sprint("fp-", i)))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Bytes() > 8<<10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("still %d bytes after deadline, quota 8192", s.Bytes())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Len() >= n {
+		t.Fatalf("compaction evicted nothing: %d entries", s.Len())
+	}
+	// The newest write lives in the active segment, which is never evicted.
+	if _, ok := s.Get(fmt.Sprint("key-", n-1)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestCloseIdempotentAndPostCloseNoop(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	s.Put("k", testResult("fp"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	s.Put("k2", testResult("fp2"))
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Get after Close returned a hit")
+	}
+}
+
+// TestEngineWarmRestart drives the real engine: a tiered memory→disk cache
+// survives an engine restart, and the second engine's first repeat Submit
+// is a disk-tier hit that the per-tier stats account for.
+func TestEngineWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	submit := func(e *engine.Engine) *engine.Result {
+		t.Helper()
+		res, err := e.Submit(context.Background(), &engine.Request{
+			Graph:  gen.TwoTaskChain(3, 2),
+			Method: engine.MethodKIter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	newEngine := func() *engine.Engine {
+		t.Helper()
+		disk := mustOpen(t, dir, Options{})
+		return engine.New(engine.Config{
+			Workers:      2,
+			CacheBackend: engine.NewTieredCache(engine.NewMemoryCache(4, 64), disk),
+		})
+	}
+
+	e1 := newEngine()
+	first := submit(e1)
+	if first.CacheHit {
+		t.Fatal("first submission claims a cache hit")
+	}
+	e1.Close() // closes the tiered backend, flushing nothing: writes are synchronous
+
+	e2 := newEngine()
+	defer e2.Close()
+	second := submit(e2)
+	if !second.CacheHit {
+		t.Fatal("restarted engine did not answer from the disk tier")
+	}
+	if second.Throughput == nil || second.Throughput.Period != first.Throughput.Period {
+		t.Fatalf("disk-tier result drifted: %+v vs %+v", second.Throughput, first.Throughput)
+	}
+	tiers := map[string]engine.CacheTierStats{}
+	for _, ts := range e2.Stats().CacheTiers {
+		tiers[ts.Tier] = ts
+	}
+	if tiers["disk"].Hits != 1 {
+		t.Fatalf("disk tier hits = %d, want 1 (stats: %+v)", tiers["disk"].Hits, tiers)
+	}
+	if tiers["memory"].Misses != 1 {
+		t.Fatalf("memory tier misses = %d, want 1 (stats: %+v)", tiers["memory"].Misses, tiers)
+	}
+	// The disk hit was promoted: a third identical submission stays in memory.
+	submit(e2)
+	for _, ts := range e2.Stats().CacheTiers {
+		tiers[ts.Tier] = ts
+	}
+	if tiers["memory"].Hits != 1 || tiers["disk"].Hits != 1 {
+		t.Fatalf("promotion failed: %+v", tiers)
+	}
+}

@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kiter/internal/gen"
+)
+
+func TestTighterBound(t *testing.T) {
+	res := func(thr string, f float64) *ThroughputResult {
+		return &ThroughputResult{Throughput: thr, Float: f}
+	}
+	cases := []struct {
+		name string
+		a, b *ThroughputResult
+		want bool
+	}{
+		{"higher throughput is tighter", res("2/3", 0.667), res("1/2", 0.5), true},
+		{"lower throughput is not", res("1/2", 0.5), res("2/3", 0.667), false},
+		{"equal bounds keep the incumbent", res("1/2", 0.5), res("1/2", 0.5), false},
+		{"exact compare beats float rounding", res("100000001/300000000", 1/3.0), res("1/3", 1/3.0), true},
+		{"absent throughput is a zero bound", res("", 0), res("1/9", 0.111), false},
+		{"any bound beats a zero bound", res("1/9", 0.111), res("", 0), true},
+		{"unparseable falls back to floats", res("bogus", 0.8), res("1/2", 0.5), true},
+	}
+	for _, c := range cases {
+		if got := tighterBound(c.a, c.b); got != c.want {
+			t.Errorf("%s: tighterBound = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestLatencyCountsSuccessOnly pins the accounting fix: cancelled and
+// failed evaluations must not contribute latency samples, so a flood of
+// fast-aborting jobs cannot drag MeanLatencyMS down.
+func TestLatencyCountsSuccessOnly(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	boom := errors.New("boom")
+	mode := "ok"
+	e.evalFn = func(ctx context.Context, req *Request) (*Result, error) {
+		switch mode {
+		case "fail":
+			return nil, boom
+		case "cancel":
+			return nil, context.Canceled
+		}
+		return &Result{Throughput: &ThroughputResult{Optimal: true}}, nil
+	}
+	submit := func(n int64) error {
+		_, err := e.Submit(context.Background(), &Request{
+			Graph: gen.TwoTaskChain(n, 1), Method: MethodKIter, NoCache: true,
+		})
+		return err
+	}
+	if err := submit(1); err != nil {
+		t.Fatal(err)
+	}
+	mode = "fail"
+	if err := submit(2); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	mode = "cancel"
+	if err := submit(3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	s := e.Stats()
+	if s.Evaluations != 3 {
+		t.Fatalf("evaluations = %d, want 3", s.Evaluations)
+	}
+	if s.LatencySamples != 1 {
+		t.Fatalf("latency samples = %d, want 1 (successes only)", s.LatencySamples)
+	}
+	if s.Errors != 1 || s.Cancelled != 1 {
+		t.Fatalf("errors/cancelled = %d/%d, want 1/1", s.Errors, s.Cancelled)
+	}
+}

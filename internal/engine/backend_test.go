@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"kiter/internal/gen"
+)
+
+func TestTieredPromotionAndWriteThrough(t *testing.T) {
+	fast := NewMemoryCache(1, 8)
+	slow := NewMemoryCache(1, 8)
+	tc := NewTieredCache(fast, slow)
+
+	// A slow-tier-only entry (what a restart leaves behind) is served and
+	// promoted into the fast tier.
+	slow.Put("warm", &Result{Fingerprint: "warm"})
+	res, ok := tc.Get("warm")
+	if !ok || res.Fingerprint != "warm" {
+		t.Fatalf("tiered get = %+v, %v", res, ok)
+	}
+	if _, ok := fast.Get("warm"); !ok {
+		t.Fatal("slow-tier hit was not promoted into the fast tier")
+	}
+
+	// Stores write through to both tiers.
+	tc.Put("new", &Result{Fingerprint: "new"})
+	if _, ok := fast.Get("new"); !ok {
+		t.Fatal("put skipped the fast tier")
+	}
+	if _, ok := slow.Get("new"); !ok {
+		t.Fatal("put skipped the slow tier")
+	}
+	if tc.Len() != fast.Len()+slow.Len() {
+		t.Fatalf("tiered len = %d, want sum %d", tc.Len(), fast.Len()+slow.Len())
+	}
+	if ts, ok := tc.(TierStatser); !ok || len(ts.TierStats()) != 2 {
+		t.Fatal("tiered backend does not report both tiers")
+	}
+}
+
+func TestTieredNilSides(t *testing.T) {
+	mem := NewMemoryCache(1, 4)
+	if got := NewTieredCache(nil, mem); got != mem {
+		t.Fatal("nil fast tier should unwrap to the slow one")
+	}
+	if got := NewTieredCache(mem, nil); got != mem {
+		t.Fatal("nil slow tier should unwrap to the fast one")
+	}
+	if got := NewTieredCache(nil, nil); got != nil {
+		t.Fatal("two nil tiers should compose to no cache")
+	}
+	if NewMemoryCache(4, 0) != nil {
+		t.Fatal("non-positive capacity must disable the memory backend")
+	}
+}
+
+// TestEngineCustomBackendStats proves Config.CacheBackend replaces the
+// default cache and that per-tier counters surface on Stats.
+func TestEngineCustomBackendStats(t *testing.T) {
+	e := New(Config{
+		Workers:      2,
+		CacheBackend: NewTieredCache(NewMemoryCache(2, 16), NewMemoryCache(2, 16)),
+	})
+	defer e.Close()
+	req := func() *Request { return &Request{Graph: gen.TwoTaskChain(2, 3), Method: MethodKIter} }
+	if _, err := e.Submit(context.Background(), req()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Submit(context.Background(), req())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("repeat submission missed the configured backend")
+	}
+	s := e.Stats()
+	if len(s.CacheTiers) != 2 {
+		t.Fatalf("stats report %d tiers, want 2: %+v", len(s.CacheTiers), s.CacheTiers)
+	}
+	if s.CacheTiers[0].Hits != 1 {
+		t.Fatalf("fast tier hits = %d, want 1", s.CacheTiers[0].Hits)
+	}
+	if s.CacheEntries == 0 {
+		t.Fatal("CacheEntries gauge lost with a custom backend")
+	}
+}
+
+// TestStatsDeltaCacheTiers checks per-tier counters subtract over a window
+// while the gauges keep the newer snapshot's values.
+func TestStatsDeltaCacheTiers(t *testing.T) {
+	prev := Stats{CacheTiers: []CacheTierStats{{Tier: "memory", Hits: 2, Misses: 5, Entries: 3}}}
+	now := Stats{CacheTiers: []CacheTierStats{
+		{Tier: "memory", Hits: 6, Misses: 7, Entries: 9},
+		{Tier: "disk", Hits: 4, Misses: 1, Entries: 11, Bytes: 4096},
+	}}
+	d := now.Delta(prev)
+	if len(d.CacheTiers) != 2 {
+		t.Fatalf("delta tiers = %+v", d.CacheTiers)
+	}
+	mem, disk := d.CacheTiers[0], d.CacheTiers[1]
+	if mem.Hits != 4 || mem.Misses != 2 || mem.Entries != 9 {
+		t.Fatalf("memory delta = %+v", mem)
+	}
+	if disk.Hits != 4 || disk.Misses != 1 || disk.Bytes != 4096 {
+		t.Fatalf("disk tier absent from prev must delta from zero: %+v", disk)
+	}
+}
+
+// TestCacheTotalCapacityPinned pins the remainder-distribution fix: shard
+// capacities must sum exactly to the configured total, not round up.
+func TestCacheTotalCapacityPinned(t *testing.T) {
+	for _, tc := range []struct{ shards, capacity int }{
+		{16, 17}, {16, 16}, {16, 100}, {4, 7}, {7, 3}, {1, 5},
+	} {
+		c := newResultCache(tc.shards, tc.capacity)
+		sum := 0
+		for i := range c.shards {
+			if c.shards[i].capacity < 1 {
+				t.Fatalf("%d/%d: shard %d has capacity %d", tc.shards, tc.capacity, i, c.shards[i].capacity)
+			}
+			sum += c.shards[i].capacity
+		}
+		if sum != tc.capacity {
+			t.Fatalf("shards=%d capacity=%d: shard capacities sum to %d", tc.shards, tc.capacity, sum)
+		}
+		for i := 0; i < 50*tc.capacity; i++ {
+			c.put(fmt.Sprint("key-", i), &Result{})
+		}
+		if n := c.len(); n > tc.capacity {
+			t.Fatalf("shards=%d capacity=%d: cache grew to %d entries", tc.shards, tc.capacity, n)
+		}
+	}
+}

@@ -27,8 +27,11 @@ type cacheEntry struct {
 }
 
 // newResultCache builds a cache with the given shard count and total
-// capacity (entries, split evenly across shards). A non-positive capacity
-// yields a nil cache, on which every operation is a no-op miss.
+// capacity. Shard capacities sum exactly to the configured total: each
+// shard gets capacity/shards entries and the remainder is spread one entry
+// each over the first shards (rounding up per shard instead would inflate
+// small caps by up to shards-1 entries). A non-positive capacity yields a
+// nil cache, on which every operation is a no-op miss.
 func newResultCache(shards, capacity int) *resultCache {
 	if capacity <= 0 {
 		return nil
@@ -39,9 +42,13 @@ func newResultCache(shards, capacity int) *resultCache {
 	if shards > capacity {
 		shards = capacity
 	}
-	perShard := (capacity + shards - 1) / shards
+	base, rem := capacity/shards, capacity%shards
 	c := &resultCache{shards: make([]cacheShard, shards)}
 	for i := range c.shards {
+		perShard := base
+		if i < rem {
+			perShard++
+		}
 		c.shards[i] = cacheShard{
 			capacity: perShard,
 			order:    list.New(),

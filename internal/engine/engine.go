@@ -25,10 +25,17 @@ type Config struct {
 	// QueueDepth is the buffered job queue length (default: 2·Workers).
 	QueueDepth int
 	// CacheCapacity is the total memo-cache size in entries (default
-	// 4096; negative disables caching).
+	// 4096; negative disables caching). Ignored when CacheBackend is set.
 	CacheCapacity int
 	// CacheShards splits the cache to bound lock contention (default 16).
+	// Ignored when CacheBackend is set.
 	CacheShards int
+	// CacheBackend overrides the memo cache entirely (nil keeps the
+	// default in-process sharded LRU built from CacheCapacity and
+	// CacheShards). The engine takes ownership: Engine.Close closes the
+	// backend. Compose tiers with NewTieredCache — e.g. memory over an
+	// internal/cachedisk store — to share results across restarts.
+	CacheBackend CacheBackend
 	// MaxPending bounds jobs submitted but not yet finished; beyond it
 	// Submit fails fast with ErrOverloaded (default 16·(Workers+1),
 	// negative disables the bound).
@@ -63,7 +70,7 @@ func (cfg Config) withDefaults() Config {
 type Engine struct {
 	cfg    Config
 	jobs   chan *job
-	cache  *resultCache
+	cache  CacheBackend // nil when caching is disabled
 	flight *flightGroup
 	stats  counters
 
@@ -93,10 +100,14 @@ var ErrOverloaded = errors.New("engine: too many pending jobs")
 // New starts an engine with cfg's worker pool.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	cache := cfg.CacheBackend
+	if cache == nil {
+		cache = NewMemoryCache(cfg.CacheShards, cfg.CacheCapacity)
+	}
 	e := &Engine{
 		cfg:    cfg,
 		jobs:   make(chan *job, cfg.QueueDepth),
-		cache:  newResultCache(cfg.CacheShards, cfg.CacheCapacity),
+		cache:  cache,
 		flight: newFlightGroup(),
 		closed: make(chan struct{}),
 	}
@@ -111,9 +122,10 @@ func New(cfg Config) *Engine {
 // Close stops the pool: jobs already running on a worker complete
 // normally (their contexts are not cancelled, so their waiters still get
 // results), queued jobs that no worker picked up fail with ErrClosed, and
-// Close returns once every job has been resolved one way or the other.
-// It is safe to call once; Submit calls racing with Close may either
-// complete or report ErrClosed.
+// Close returns once every job has been resolved one way or the other and
+// the cache backend is closed. It is safe to call once; Submit calls
+// racing with Close may either complete or report ErrClosed (backends
+// treat post-Close Get/Put as no-op misses, so such stragglers are safe).
 func (e *Engine) Close() {
 	e.once.Do(func() { close(e.closed) })
 	e.wg.Wait()
@@ -125,6 +137,9 @@ func (e *Engine) Close() {
 			e.finishJob(j, nil, ErrClosed)
 		default:
 			if e.pending.Load() == 0 {
+				if e.cache != nil {
+					_ = e.cache.Close()
+				}
 				return
 			}
 			runtime.Gosched()
@@ -187,8 +202,8 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
 	}
 	key := cacheKey(fingerprint, analyses, keyMethod, req.ApplyCapacities)
 
-	if !req.NoCache {
-		if res, ok := e.cache.get(key); ok {
+	if !req.NoCache && e.cache != nil {
+		if res, ok := e.cache.Get(key); ok {
 			e.stats.cacheHits.Add(1)
 			out := res.shallowCopy()
 			out.Graph = req.Graph.Name
@@ -281,13 +296,17 @@ func (e *Engine) runJob(j *job) {
 	start := time.Now()
 	res, err := e.evalFn(ctx, j.req)
 	elapsed := time.Since(start)
-	e.stats.latencyNanos.Add(int64(elapsed))
-	e.stats.latencyCount.Add(1)
 	switch {
 	case err == nil:
+		// Latency counts successful evaluations only, as MeanLatencyMS
+		// documents: folding in cancelled jobs (often aborted in
+		// microseconds) or failures would skew the mean of the work the
+		// engine actually completed.
+		e.stats.latencyNanos.Add(int64(elapsed))
+		e.stats.latencyCount.Add(1)
 		res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
-		if !j.req.NoCache {
-			e.cache.put(j.req.cacheKeyHint, res)
+		if !j.req.NoCache && e.cache != nil {
+			e.cache.Put(j.req.cacheKeyHint, res)
 		}
 	case contextual(err):
 		e.stats.cancelled.Add(1)

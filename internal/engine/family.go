@@ -17,8 +17,11 @@ type FamilyResult struct {
 // FamilyConfig tunes one SubmitFamily call.
 type FamilyConfig struct {
 	// Width bounds concurrent member submissions (<= 0 picks the batch
-	// default: 2·Workers, clamped below MaxPending so a family can never
-	// trip the engine's load shedding).
+	// default: 2·Workers). Width is clamped below MaxPending with
+	// headroom so a family alone does not trip the engine's load
+	// shedding; concurrent traffic sharing the pending budget can still
+	// push the engine over it, in which case the affected members fail
+	// with ErrOverloaded like any other submission.
 	Width int
 	// MemberTimeout bounds each member's submission individually (0 = no
 	// per-member deadline) — the per-request budget of a server, applied
@@ -43,8 +46,15 @@ func (e *Engine) SubmitFamily(ctx context.Context, n int, cfg FamilyConfig, buil
 	if width <= 0 {
 		width = 2 * e.cfg.Workers
 	}
-	if e.cfg.MaxPending > 0 && width > e.cfg.MaxPending {
-		width = e.cfg.MaxPending
+	// Clamp to 3/4 of the pending budget: a family saturating MaxPending
+	// exactly would make every concurrent /analyze submission shed load
+	// for the family's whole duration. The headroom only lowers the odds —
+	// other clients can still fill the remaining quarter and trip
+	// ErrOverloaded for family members and themselves alike.
+	if e.cfg.MaxPending > 0 {
+		if budget := max(1, e.cfg.MaxPending-e.cfg.MaxPending/4); width > budget {
+			width = budget
+		}
 	}
 	if width < 1 {
 		width = 1

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/big"
 
 	"kiter/internal/csdf"
 	"kiter/internal/kperiodic"
@@ -24,10 +25,10 @@ type raceOutcome struct {
 // raceThroughput launches K-Iter, the 1-periodic method and symbolic
 // execution concurrently and returns the first certified-optimal result,
 // cancelling the losers. A certified deadlock from any contestant also
-// settles the race. When no contestant certifies optimality, the best
-// surviving bound (the 1-periodic result) is returned with Optimal =
-// false; when every contestant fails, the K-Iter error wins (it is the
-// most informative). skipSymbolic drops the symbolic contestant — used
+// settles the race. When no contestant certifies optimality, the tightest
+// surviving bound (the highest guaranteed throughput) is returned with
+// Optimal = false; when every contestant fails, the K-Iter error wins (it
+// is the most informative). skipSymbolic drops the symbolic contestant — used
 // when this job already ran the symbolic analysis and it failed, so a
 // rerun would only replay the same budget exhaustion.
 func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic bool) (*ThroughputResult, error) {
@@ -47,7 +48,7 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 		}()
 	}
 
-	var fallback *ThroughputResult // non-optimal but valid bound
+	var fallback *ThroughputResult // tightest non-optimal surviving bound
 	var firstErr error
 	var kiterErr error
 	for range contestants {
@@ -79,7 +80,10 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 			e.stats.raceWin(out.method)
 			return out.res, nil
 		}
-		if fallback == nil {
+		// Keep the tightest surviving bound, not the first to arrive:
+		// completion order is a scheduling accident, and a later
+		// contestant may guarantee strictly more throughput.
+		if fallback == nil || tighterBound(out.res, fallback) {
 			fallback = out.res
 		}
 	}
@@ -93,6 +97,27 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 		return nil, firstErr
 	}
 	return nil, errors.New("engine: no contestant produced a result")
+}
+
+// tighterBound reports whether a is a strictly tighter throughput lower
+// bound than b, i.e. guarantees more throughput. Bounds compare as exact
+// rationals parsed from their Throughput strings (an absent throughput is
+// zero); if either fails to parse, the float mirrors decide.
+func tighterBound(a, b *ThroughputResult) bool {
+	ar, aok := boundRat(a)
+	br, bok := boundRat(b)
+	if aok && bok {
+		return ar.Cmp(br) > 0
+	}
+	return a.Float > b.Float
+}
+
+// boundRat parses a result's throughput as an exact rational.
+func boundRat(t *ThroughputResult) (*big.Rat, bool) {
+	if t.Throughput == "" {
+		return new(big.Rat), true
+	}
+	return new(big.Rat).SetString(t.Throughput)
 }
 
 // runMethod evaluates the throughput of g with one strategy.

@@ -50,12 +50,21 @@ type Stats struct {
 	// HitRate is CacheHits / (CacheHits + CacheMisses), in [0, 1].
 	HitRate float64 `json:"hitRate"`
 	// MeanLatencyMS is the mean wall-clock evaluation time over
-	// LatencySamples finished evaluations (Evaluations counts started
-	// ones, so the two differ by the jobs currently in flight).
+	// LatencySamples successful evaluations. Cancelled and failed jobs are
+	// excluded — a fast-aborting cancellation would otherwise drag the
+	// mean below what completed work actually costs — so Evaluations
+	// exceeds LatencySamples by the jobs in flight plus the
+	// cancelled/errored ones.
 	MeanLatencyMS  float64 `json:"meanLatencyMs"`
 	LatencySamples uint64  `json:"latencySamples"`
-	// CacheEntries is the current number of memoized results.
+	// CacheEntries is the current number of memoized results, summed over
+	// tiers for tiered backends (a promoted entry counts in each tier
+	// holding it).
 	CacheEntries int `json:"cacheEntries"`
+	// CacheTiers carries per-tier hit/miss/size telemetry when the cache
+	// backend reports it (always for the default memory cache and the
+	// tiered memory→disk composition); nil otherwise.
+	CacheTiers []CacheTierStats `json:"cacheTiers,omitempty"`
 	// Workers and Pending describe the pool: configured worker count and
 	// jobs submitted but not yet finished; MaxPending is the
 	// load-shedding threshold (0 = unbounded).
@@ -90,6 +99,22 @@ func (s Stats) Delta(prev Stats) Stats {
 	for k, v := range s.RaceWins {
 		d.RaceWins[k] = v - prev.RaceWins[k]
 	}
+	// Per-tier counters subtract like the top-level ones; Entries/Bytes
+	// are gauges and keep s's values. Tiers are matched by name, so a
+	// tier absent from prev (e.g. stats enabled mid-run) deltas from zero.
+	if len(s.CacheTiers) > 0 {
+		prevTier := make(map[string]CacheTierStats, len(prev.CacheTiers))
+		for _, t := range prev.CacheTiers {
+			prevTier[t.Tier] = t
+		}
+		d.CacheTiers = make([]CacheTierStats, 0, len(s.CacheTiers))
+		for _, t := range s.CacheTiers {
+			p := prevTier[t.Tier]
+			t.Hits -= p.Hits
+			t.Misses -= p.Misses
+			d.CacheTiers = append(d.CacheTiers, t)
+		}
+	}
 	if lookups := d.CacheHits + d.CacheMisses; lookups > 0 {
 		d.HitRate = float64(d.CacheHits) / float64(lookups)
 	}
@@ -111,6 +136,10 @@ func (s Stats) Delta(prev Stats) Stats {
 func (e *Engine) Stats() Stats {
 	hits := e.stats.cacheHits.Load()
 	misses := e.stats.cacheMisses.Load()
+	entries := 0
+	if e.cache != nil {
+		entries = e.cache.Len()
+	}
 	s := Stats{
 		Submitted:    e.stats.submitted.Load(),
 		CacheHits:    hits,
@@ -120,7 +149,7 @@ func (e *Engine) Stats() Stats {
 		Errors:       e.stats.errors.Load(),
 		Cancelled:    e.stats.cancelled.Load(),
 		Rejected:     e.stats.rejected.Load(),
-		CacheEntries: e.cache.len(),
+		CacheEntries: entries,
 		Workers:      e.cfg.Workers,
 		Pending:      int(e.pending.Load()),
 		MaxPending:   max(e.cfg.MaxPending, 0),
@@ -132,6 +161,9 @@ func (e *Engine) Stats() Stats {
 	}
 	if hits+misses > 0 {
 		s.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if ts, ok := e.cache.(TierStatser); ok {
+		s.CacheTiers = ts.TierStats()
 	}
 	if n := e.stats.latencyCount.Load(); n > 0 {
 		s.LatencySamples = n

@@ -93,10 +93,11 @@ func Compile(s *Spec, capacitiesDefault bool) (*Expansion, error) {
 			}
 		}
 		// The running total is already ≤ limit and each factor is bounded
-		// by the body size, so the product cannot overflow int64 — compare
+		// by the body size, so the product cannot overflow int64 — but it
+		// can overflow a 32-bit int, so widen before multiplying. Compare
 		// against the cap after every factor so the error names the first
 		// parameter that blows the budget.
-		if x.total*len(vs) > limit {
+		if int64(x.total)*int64(len(vs)) > int64(limit) {
 			return nil, specErrf("cross product exceeds %d scenarios at parameter %q (raise maxScenarios or shrink a range)", limit, p.Name)
 		}
 		x.total *= len(vs)
