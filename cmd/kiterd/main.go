@@ -44,10 +44,22 @@
 //
 //	kiterd -cache-dir /var/cache/kiterd -cache-disk-bytes 268435456
 //
+// With -peers, N replicas form one analysis fleet: each job is
+// consistently hashed onto the member ring and forwarded to its owner
+// over an internal POST /cluster/evaluate hop, making the owner's
+// singleflight and memo cache deduplicate work fleet-wide. A dead or slow
+// owner degrades transparently to local evaluation and is probed back
+// into the ring; /stats grows per-peer forwarded/served/failedOver
+// counters (see the README's Cluster section for a 3-replica
+// walkthrough):
+//
+//	kiterd -addr 127.0.0.1:9101 -peers 127.0.0.1:9102,127.0.0.1:9103
+//
 // Usage:
 //
 //	kiterd [-addr :8080] [-workers N] [-cache N] [-method race]
 //	       [-cache-dir dir] [-cache-disk-bytes N] [-capacities]
+//	       [-peers host:port,…] [-self host:port] [-forward-timeout 0]
 //	       [-analyses throughput] [-timeout 60s] [-stats-out stats.json]
 //	       [-batch dir-or-manifest] [-sweep spec.json]
 package main
@@ -58,10 +70,12 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"kiter/internal/cachedisk"
+	"kiter/internal/cluster"
 	"kiter/internal/engine"
 	"kiter/internal/gen"
 	"kiter/internal/kperiodic"
@@ -102,12 +116,26 @@ func run() error {
 		batchDir       = flag.String("batch-dir", "", "directory to materialize -batch-suite graphs into (default: temp dir)")
 		ndjson         = flag.Bool("ndjson", false, "batch mode: stream one JSON result line per graph as jobs finish, plus a summary line")
 		sweepSpec      = flag.String("sweep", "", "sweep mode: expand a parametric spec file into a scenario family, stream NDJSON results and exit")
+		peers          = flag.String("peers", "", "comma-separated peer replica addresses (host:port); jobs are consistently hashed across self+peers and forwarded to their owner")
+		selfAddr       = flag.String("self", "", "advertised cluster address of this replica (default: derived from -addr); every replica must list it under exactly this string")
+		forwardTimeout = flag.Duration("forward-timeout", 0, "per-job cluster forward budget before local fallback (0 = -timeout)")
 	)
 	flag.Parse()
 
 	backend, err := buildCacheBackend(*cacheDir, *cacheDiskBytes, *shards, *cacheSize)
 	if err != nil {
 		return err
+	}
+	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout)
+	if err != nil {
+		return err
+	}
+	var dispatcher engine.Dispatcher
+	if cl != nil {
+		dispatcher = cl
+		// The cluster outlives the engine: in-flight dispatches finish
+		// during e.Close, then the prober stops.
+		defer cl.Close()
 	}
 	e := engine.New(engine.Config{
 		Workers:       *workers,
@@ -118,6 +146,7 @@ func run() error {
 		MaxPending:    *maxPending,
 		Options:       kperiodic.Options{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
 		Symbolic:      symbexec.Options{MaxEvents: *symEvents},
+		Dispatcher:    dispatcher,
 	})
 	defer e.Close()
 	if *statsOut != "" {
@@ -177,10 +206,53 @@ func run() error {
 		}
 		return runBatch(e, paths, tmpl, os.Stdout, *ndjson)
 	default:
-		srv := newServer(e, tmpl)
+		srv := newServer(e, tmpl, cl)
+		if cl != nil {
+			fmt.Printf("kiterd: clustered as %s (peers: %s)\n", cl.Self(), *peers)
+		}
 		fmt.Printf("kiterd: listening on %s (%d workers)\n", *addr, e.Stats().Workers)
 		return http.ListenAndServe(*addr, srv)
 	}
+}
+
+// buildCluster assembles the work-distribution layer from the cluster
+// flags: nil (single replica, every job local) without -peers, otherwise a
+// consistent-hash fleet of self + peers. The advertised self address
+// defaults to the listen address, with a bare ":port" completed to
+// 127.0.0.1 — fine for a local fleet, but multi-host fleets must set -self
+// to the name the peers dial, because addresses are ring identities.
+func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration) (*cluster.Cluster, error) {
+	if peers == "" {
+		return nil, nil
+	}
+	if self == "" {
+		self = addr
+		if strings.HasPrefix(self, ":") {
+			self = "127.0.0.1" + self
+		}
+	}
+	var list []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			list = append(list, p)
+		}
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("-peers given but empty")
+	}
+	if forwardTimeout <= 0 {
+		forwardTimeout = requestTimeout
+	}
+	if forwardTimeout <= 0 {
+		// -timeout 0 means unlimited analyses; the forward budget must
+		// honor that rather than fall into the cluster's 60s default.
+		forwardTimeout = -1
+	}
+	return cluster.New(cluster.Config{
+		Self:           self,
+		Peers:          list,
+		ForwardTimeout: forwardTimeout,
+	})
 }
 
 // requestTemplate carries the per-process defaults applied to every
@@ -209,12 +281,37 @@ func buildCacheBackend(dir string, diskBytes int64, shards, capacity int) (engin
 }
 
 // writeStatsFile dumps a stats snapshot as indented JSON for -stats-out.
+// The write is atomic — temp file in the target directory, fsync-free
+// rename over the destination — so a scraper polling the path never reads
+// a torn snapshot, only the previous or the new one.
 func writeStatsFile(path string, s engine.Stats) error {
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".stats-*.json")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func parseAnalyses(s string) []engine.AnalysisKind {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 
+	"kiter/internal/cluster"
 	"kiter/internal/engine"
 	"kiter/internal/sdf3x"
 )
@@ -26,12 +27,19 @@ type server struct {
 	maxBody int64
 }
 
-func newServer(e *engine.Engine, tmpl requestTemplate) *server {
+// newServer builds the HTTP front-end. cl is the optional cluster layer:
+// when set, the internal /cluster/evaluate endpoint is mounted so peer
+// replicas can forward jobs here, and /stats grows the per-peer cluster
+// section (via engine.Stats).
+func newServer(e *engine.Engine, tmpl requestTemplate, cl *cluster.Cluster) *server {
 	s := &server{e: e, tmpl: tmpl, mux: http.NewServeMux(), maxBody: maxBodyBytes}
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	if cl != nil {
+		s.mux.Handle("/cluster/evaluate", cl.EvaluateHandler(e, tmpl.Timeout))
+	}
 	return s
 }
 

@@ -1,0 +1,382 @@
+// Package cluster turns N kiterd replicas into one analysis fleet with no
+// dependencies beyond net/http. Each replica consistently hashes every
+// job's structural fingerprint onto the member ring (self + -peers) and
+// forwards non-local jobs to their owner over POST /cluster/evaluate; the
+// owner runs them through its own engine, so its singleflight and memo
+// cache deduplicate identical work submitted anywhere in the fleet.
+//
+// The subsystem degrades to a single replica gracefully: a forward that
+// fails or times out falls back to transparent local evaluation, the
+// failing peer is marked unhealthy (its keys spill to ring successors) and
+// re-probed with exponential backoff until it answers /healthz again.
+// Routing is capped at one hop — forwarded arrivals are pinned local — so
+// diverging health views can cost locality, never loops.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kiter/internal/engine"
+)
+
+// peerHeader carries the sender's advertised address on forwarded
+// requests, so the owner can attribute its served counters.
+const peerHeader = "X-Kiter-Peer"
+
+// Config tunes a Cluster.
+type Config struct {
+	// Self is this replica's advertised address (host:port). Every replica
+	// must appear under exactly the same string in its peers' lists —
+	// addresses are ring identities, not just dial targets.
+	Self string
+	// Peers lists the other replicas' advertised addresses. Self is
+	// filtered out, so the full fleet list can be shared verbatim.
+	Peers []string
+	// ForwardTimeout bounds one forwarded evaluation end to end; beyond it
+	// the job falls back to local evaluation. Zero picks the 60s default
+	// (match the serving timeout, since the owner is doing real analysis
+	// work); negative means no limit, for fleets serving unbounded
+	// analyses.
+	ForwardTimeout time.Duration
+	// ProbeInterval is the base health-probe backoff for an unhealthy peer
+	// (default 1s); consecutive failures double it up to MaxProbeInterval
+	// (default 30s). ProbeTimeout bounds one probe (default 2s).
+	ProbeInterval    time.Duration
+	MaxProbeInterval time.Duration
+	ProbeTimeout     time.Duration
+	// Client overrides the forwarding HTTP client (tests).
+	Client *http.Client
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.ForwardTimeout == 0 {
+		cfg.ForwardTimeout = 60 * time.Second
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.MaxProbeInterval <= 0 {
+		cfg.MaxProbeInterval = 30 * time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	return cfg
+}
+
+// peerState is one peer's health and telemetry.
+type peerState struct {
+	addr    string
+	healthy atomic.Bool
+
+	forwarded  atomic.Uint64
+	failedOver atomic.Uint64
+	served     atomic.Uint64
+	probes     atomic.Uint64
+
+	// mu guards the probe backoff schedule.
+	mu        sync.Mutex
+	failures  int
+	nextProbe time.Time
+}
+
+// Cluster implements engine.Dispatcher over a fixed member ring. Create
+// one with New, hand it to engine.Config.Dispatcher, mount EvaluateHandler
+// on the replica's HTTP mux, and Close it after the engine.
+type Cluster struct {
+	cfg  Config
+	self string
+	ring *ring
+
+	// peers is immutable after New (rows are created at construction
+	// only), so it is read lock-free on the dispatch path; the rows handle
+	// their own synchronization.
+	peers map[string]*peerState
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds the cluster and starts its health prober. cfg.Peers may
+// include cfg.Self (it is ignored); an empty peer list yields a
+// single-member cluster that dispatches everything locally.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self address required")
+	}
+	members := []string{cfg.Self}
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			members = append(members, p)
+		}
+	}
+	ring, err := newRing(members)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		self:  cfg.Self,
+		ring:  ring,
+		peers: make(map[string]*peerState),
+		stop:  make(chan struct{}),
+	}
+	for _, m := range members {
+		if m == cfg.Self {
+			continue
+		}
+		ps := &peerState{addr: m}
+		// Optimistic start: a down peer costs one failed forward (answered
+		// locally) before probing takes over.
+		ps.healthy.Store(true)
+		c.peers[m] = ps
+	}
+	c.wg.Add(1)
+	go c.probeLoop()
+	return c, nil
+}
+
+// Close stops the health prober and releases idle connections. It does not
+// touch the engine; close the engine first so no dispatch is in flight.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	c.cfg.Client.CloseIdleConnections()
+}
+
+// Self returns the replica's advertised address.
+func (c *Cluster) Self() string { return c.self }
+
+// peer returns the state row for a configured peer, or nil. Rows are
+// created only at construction: the forward handler attributes served
+// counts through the caller-controlled peer header, and minting rows from
+// it would let any client grow the map (and every /stats response)
+// without bound.
+func (c *Cluster) peer(addr string) *peerState {
+	return c.peers[addr]
+}
+
+// alive is the ring's health filter: self is always alive.
+func (c *Cluster) alive(member string) bool {
+	if member == c.self {
+		return true
+	}
+	ps, ok := c.peers[member]
+	return ok && ps.healthy.Load()
+}
+
+// Owner returns the member the ring currently places key on, applying the
+// local health view.
+func (c *Cluster) Owner(key string) string {
+	if o := c.ring.owner(key, c.alive); o != "" {
+		return o
+	}
+	return c.self
+}
+
+// Dispatch implements engine.Dispatcher: jobs the ring places on this
+// replica (or on nobody alive) are declined back to the local pool; jobs
+// owned by a healthy peer are forwarded. A forward that fails for any
+// reason other than the job's own cancellation marks the peer unhealthy
+// and falls back to local evaluation, so a dying owner never fails a job —
+// it only loses the dedup benefit until a probe revives it.
+func (c *Cluster) Dispatch(ctx context.Context, job *engine.DispatchJob) (*engine.Result, bool, error) {
+	owner := c.Owner(job.Fingerprint)
+	if owner == c.self {
+		return nil, false, nil
+	}
+	ps := c.peer(owner)
+	if ps == nil {
+		// Cannot happen — the ring only yields configured members — but a
+		// nil row must not panic the serving path.
+		return nil, false, nil
+	}
+	res, err := c.forward(ctx, owner, job)
+	switch {
+	case err == nil:
+		ps.forwarded.Add(1)
+		return res, true, nil
+	case ctx.Err() != nil:
+		// Every waiter left (or the submission's own deadline passed)
+		// while the forward was in flight: fail the job with the context
+		// error instead of burning a local slot on unwanted work.
+		return nil, true, ctx.Err()
+	default:
+		ps.failedOver.Add(1)
+		c.markUnhealthy(ps)
+		return nil, false, nil
+	}
+}
+
+// forward runs one job on owner and decodes its result.
+func (c *Cluster) forward(ctx context.Context, owner string, job *engine.DispatchJob) (*engine.Result, error) {
+	body, err := encodeJob(job)
+	if err != nil {
+		return nil, err
+	}
+	fctx := ctx
+	if c.cfg.ForwardTimeout > 0 {
+		var cancel context.CancelFunc
+		fctx, cancel = context.WithTimeout(ctx, c.cfg.ForwardTimeout)
+		defer cancel()
+	}
+	url := "http://" + owner + "/cluster/evaluate"
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(peerHeader, c.self)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s: %s: %s", owner, resp.Status, firstLine(reply))
+	}
+	res, err := decodeResult(reply, owner)
+	if err != nil {
+		return nil, err
+	}
+	if res.Fingerprint != job.Fingerprint {
+		// A peer answering for the wrong structure (version skew, proxy
+		// mixup) must not poison the local cache; treat it as a failure
+		// and evaluate locally.
+		return nil, fmt.Errorf("cluster: peer %s answered fingerprint %.12s, want %.12s",
+			owner, res.Fingerprint, job.Fingerprint)
+	}
+	return res, nil
+}
+
+// firstLine bounds an error body for log-friendly messages.
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// markUnhealthy flips a peer out of the ring and schedules its first
+// re-probe one base interval out.
+func (c *Cluster) markUnhealthy(ps *peerState) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.healthy.Swap(false) {
+		ps.failures = 1
+		ps.nextProbe = time.Now().Add(c.cfg.ProbeInterval)
+	}
+}
+
+// probeLoop re-probes unhealthy peers on their backoff schedule until the
+// cluster closes. The tick is a fraction of the base interval so a due
+// probe never waits a full interval for the clock to notice it.
+func (c *Cluster) probeLoop() {
+	defer c.wg.Done()
+	tick := c.cfg.ProbeInterval / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-t.C:
+			for _, ps := range c.snapshotPeers() {
+				if ps.healthy.Load() {
+					continue
+				}
+				ps.mu.Lock()
+				due := !now.Before(ps.nextProbe)
+				ps.mu.Unlock()
+				if due {
+					c.probe(ps)
+				}
+			}
+		}
+	}
+}
+
+// probe checks one peer's /healthz, reviving it on success and doubling
+// its backoff (up to MaxProbeInterval) on failure.
+func (c *Cluster) probe(ps *peerState) {
+	ps.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+ps.addr+"/healthz", nil)
+	if err == nil {
+		var resp *http.Response
+		if resp, err = c.cfg.Client.Do(req); err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %s", resp.Status)
+			}
+		}
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if err == nil {
+		ps.failures = 0
+		ps.healthy.Store(true)
+		return
+	}
+	ps.failures++
+	// failures counts the initial forward failure plus every failed probe;
+	// the n-th consecutive probe failure waits 2^n base intervals, capped.
+	backoff := c.cfg.ProbeInterval << min(ps.failures-1, 30)
+	if backoff > c.cfg.MaxProbeInterval || backoff <= 0 {
+		backoff = c.cfg.MaxProbeInterval
+	}
+	ps.nextProbe = time.Now().Add(backoff)
+}
+
+// snapshotPeers returns the peer rows as a slice.
+func (c *Cluster) snapshotPeers() []*peerState {
+	out := make([]*peerState, 0, len(c.peers))
+	for _, ps := range c.peers {
+		out = append(out, ps)
+	}
+	return out
+}
+
+// DispatchStats implements engine.DispatchStatser: one row per known peer,
+// sorted by address for stable output.
+func (c *Cluster) DispatchStats() []engine.PeerStats {
+	peers := c.snapshotPeers()
+	sort.Slice(peers, func(a, b int) bool { return peers[a].addr < peers[b].addr })
+	out := make([]engine.PeerStats, 0, len(peers))
+	for _, ps := range peers {
+		out = append(out, engine.PeerStats{
+			Peer:       ps.addr,
+			Healthy:    ps.healthy.Load(),
+			Forwarded:  ps.forwarded.Load(),
+			FailedOver: ps.failedOver.Load(),
+			Served:     ps.served.Load(),
+			Probes:     ps.probes.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kiter/internal/engine"
+	"kiter/internal/gen"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	g := gen.VideoPipeline()
+	job := &engine.DispatchJob{
+		Graph:           g,
+		Analyses:        []engine.AnalysisKind{engine.AnalysisThroughput, engine.AnalysisSchedule},
+		Method:          engine.MethodKIter,
+		ApplyCapacities: true,
+		NoCache:         true,
+		Fingerprint:     g.FingerprintHex(),
+	}
+	body, err := encodeJob(job)
+	if err != nil {
+		t.Fatalf("encodeJob: %v", err)
+	}
+	req, err := decodeRequest(body)
+	if err != nil {
+		t.Fatalf("decodeRequest: %v", err)
+	}
+	if req.Graph.FingerprintHex() != g.FingerprintHex() {
+		t.Fatal("graph fingerprint changed across the wire")
+	}
+	if req.Method != engine.MethodKIter || !req.ApplyCapacities || !req.NoCache {
+		t.Fatalf("request knobs lost: %+v", req)
+	}
+	if len(req.Analyses) != 2 {
+		t.Fatalf("analyses lost: %v", req.Analyses)
+	}
+	if !req.NoForward {
+		t.Fatal("decoded request not pinned local — forwarding loops possible")
+	}
+}
+
+func TestDecodeRequestRejectsUnknownFields(t *testing.T) {
+	if _, err := decodeRequest([]byte(`{"graph": {}, "shiny": true}`)); err == nil {
+		t.Fatal("unknown wire field accepted — version skew would be silent")
+	}
+	if _, err := decodeRequest([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// newTestCluster builds a cluster with fast probe timings.
+func newTestCluster(t *testing.T, self string, peers []string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Self:             self,
+		Peers:            peers,
+		ForwardTimeout:   5 * time.Second,
+		ProbeInterval:    20 * time.Millisecond,
+		MaxProbeInterval: 100 * time.Millisecond,
+		ProbeTimeout:     time.Second,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestProbeRevivesFlappyPeer(t *testing.T) {
+	// A peer that answers /healthz only after a few failures: the cluster
+	// must mark it unhealthy on a forward failure, keep backing off, and
+	// revive it once a probe succeeds.
+	var healthyNow atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.Error(w, "nope", http.StatusInternalServerError)
+			return
+		}
+		if !healthyNow.Load() {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peer.Close()
+	addr := strings.TrimPrefix(peer.URL, "http://")
+
+	c := newTestCluster(t, "self:1", []string{addr})
+	ps := c.peer(addr)
+	if !ps.healthy.Load() {
+		t.Fatal("peer not optimistic-healthy at start")
+	}
+	c.markUnhealthy(ps)
+	if c.alive(addr) {
+		t.Fatal("peer alive after markUnhealthy")
+	}
+
+	// While it keeps failing, probes accrue and it stays out of the ring.
+	deadline := time.Now().Add(2 * time.Second)
+	for ps.probes.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never probed: %d probes", ps.probes.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.alive(addr) {
+		t.Fatal("failing peer revived")
+	}
+
+	healthyNow.Store(true)
+	deadline = time.Now().Add(2 * time.Second)
+	for !c.alive(addr) {
+		if time.Now().After(deadline) {
+			t.Fatal("healthy peer never revived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stats := c.DispatchStats()
+	if len(stats) != 1 || !stats[0].Healthy || stats[0].Probes == 0 {
+		t.Fatalf("stats after revival: %+v", stats)
+	}
+}
+
+func TestOwnerFallsBackToSelfWhenAllPeersDead(t *testing.T) {
+	c := newTestCluster(t, "self:1", []string{"p1:1", "p2:2"})
+	for _, p := range []string{"p1:1", "p2:2"} {
+		c.markUnhealthy(c.peer(p))
+	}
+	// Every key must now come home.
+	for i := 0; i < 50; i++ {
+		if o := c.Owner(string(rune('a' + i))); o != "self:1" {
+			t.Fatalf("owner with all peers dead = %s", o)
+		}
+	}
+}
+
+func TestSelfExcludedFromPeers(t *testing.T) {
+	c := newTestCluster(t, "self:1", []string{"self:1", "p1:1"})
+	if _, ok := c.peers["self:1"]; ok {
+		t.Fatal("self tracked as its own peer")
+	}
+	if len(c.DispatchStats()) != 1 {
+		t.Fatalf("stats rows = %d, want 1", len(c.DispatchStats()))
+	}
+}

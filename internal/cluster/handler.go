@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"kiter/internal/engine"
+)
+
+// maxForwardBody bounds a forwarded request body, mirroring the public
+// API's cap.
+const maxForwardBody = 64 << 20
+
+// EvaluateHandler serves the internal POST /cluster/evaluate endpoint: it
+// decodes a forwarded job, runs it through this replica's engine with
+// forwarding pinned off (one hop max), and replies with the bare
+// engine.Result as JSON. timeout bounds one evaluation (0 = none) — give
+// it the same per-request budget the public /analyze endpoint uses, so a
+// job costs the same wherever the ring lands it.
+//
+// Infrastructure failures map to status codes the forwarding side treats
+// as failover triggers: 503 for overload/shutdown, 504 for timeout, 400
+// for undecodable bodies. Analysis-level failures ride inside the Result
+// like everywhere else.
+func (c *Cluster) EvaluateHandler(e *engine.Engine, timeout time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxForwardBody+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		if len(body) > maxForwardBody {
+			writeError(w, http.StatusRequestEntityTooLarge, "body too large")
+			return
+		}
+		req, err := decodeRequest(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ctx := r.Context()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		res, err := e.Submit(ctx, req)
+		if err != nil {
+			switch {
+			case errors.Is(err, engine.ErrOverloaded), errors.Is(err, engine.ErrClosed):
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+			case errors.Is(err, context.DeadlineExceeded):
+				writeError(w, http.StatusGatewayTimeout, "evaluation timed out")
+			default:
+				writeError(w, http.StatusBadRequest, err.Error())
+			}
+			return
+		}
+		// Attribute the serve to the calling peer. Unknown senders (the
+		// header is client-controlled) are ignored rather than given rows.
+		if ps := c.peer(r.Header.Get(peerHeader)); ps != nil {
+			ps.served.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(res)
+	})
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodes is the number of ring points each member is hashed onto. 64
+// virtual nodes keep the expected load imbalance across a handful of
+// replicas within a few percent while the ring stays small enough that an
+// owner lookup is one binary search over a few hundred entries.
+const vnodes = 64
+
+// ringEntry is one virtual node: a point on the 64-bit ring owned by
+// members[member].
+type ringEntry struct {
+	point  uint64
+	member int
+}
+
+// ring consistently hashes job fingerprints onto a fixed member set. The
+// member list is sorted before hashing, so every replica that was started
+// with the same fleet — in any order, with itself listed implicitly — builds
+// the identical ring and agrees on every key's owner. Health is applied at
+// lookup time, not build time: a dead member's keys spill to their ring
+// successors and return to it the moment a probe revives it, without any
+// ring rebuild or coordination.
+type ring struct {
+	members []string
+	entries []ringEntry
+}
+
+// newRing builds the ring over the deduplicated member addresses. At least
+// one member is required.
+func newRing(members []string) (*ring, error) {
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member address")
+		}
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("cluster: no members")
+	}
+	sort.Strings(uniq)
+	r := &ring{
+		members: uniq,
+		entries: make([]ringEntry, 0, len(uniq)*vnodes),
+	}
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.entries = append(r.entries, ringEntry{
+				point:  hashPoint(fmt.Sprintf("%s#%d", m, v)),
+				member: i,
+			})
+		}
+	}
+	sort.Slice(r.entries, func(a, b int) bool {
+		if r.entries[a].point != r.entries[b].point {
+			return r.entries[a].point < r.entries[b].point
+		}
+		// Identical points (a 64-bit hash collision between members) are
+		// ordered by member index so every replica still walks them alike.
+		return r.entries[a].member < r.entries[b].member
+	})
+	return r, nil
+}
+
+// hashPoint places a string on the ring: FNV-1a (stable across processes
+// and platforms) finished with a 64-bit avalanche mix. Raw FNV-1a barely
+// diffuses its trailing bytes, so a member's virtual nodes "addr#0" …
+// "addr#63" land in one tight band and the ring degenerates into a few
+// huge arcs; the (bijective, hence collision-free) finalizer scatters
+// them uniformly.
+func hashPoint(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// owner returns the member owning key: the first alive member at or after
+// the key's point, walking the ring clockwise. alive filters members (nil
+// accepts all); when no member is alive the empty string is returned and
+// the caller evaluates locally.
+func (r *ring) owner(key string, alive func(member string) bool) string {
+	p := hashPoint(key)
+	start := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].point >= p })
+	// The common case — first candidate alive — allocates nothing; the
+	// rejected set is materialized only once a dead member is skipped.
+	var rejected []bool
+	nrejected := 0
+	for off := 0; off < len(r.entries); off++ {
+		e := r.entries[(start+off)%len(r.entries)]
+		if rejected != nil && rejected[e.member] {
+			continue
+		}
+		m := r.members[e.member]
+		if alive == nil || alive(m) {
+			return m
+		}
+		if rejected == nil {
+			rejected = make([]bool, len(r.members))
+		}
+		rejected[e.member] = true
+		if nrejected++; nrejected == len(r.members) {
+			break
+		}
+	}
+	return ""
+}

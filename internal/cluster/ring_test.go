@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingAgreementAcrossMemberOrder(t *testing.T) {
+	// Two replicas build their rings from differently ordered (and
+	// self-relative) member lists; every key must land on the same owner.
+	a, err := newRing([]string{"h1:1", "h2:2", "h3:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newRing([]string{"h3:3", "h1:1", "h2:2", "h1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("fingerprint-%d", i)
+		if oa, ob := a.owner(key, nil), b.owner(key, nil); oa != ob {
+			t.Fatalf("key %q: ring A says %s, ring B says %s", key, oa, ob)
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, err := newRing([]string{"h1:1", "h2:2", "h3:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("fp-%d", i), nil)]++
+	}
+	for _, m := range r.members {
+		// With 64 vnodes the imbalance stays well inside 3x of fair share;
+		// the test only guards against gross skew (e.g. one member owning
+		// everything).
+		if c := counts[m]; c < keys/9 {
+			t.Fatalf("member %s owns only %d of %d keys: %v", m, c, keys, counts)
+		}
+	}
+}
+
+func TestRingHealthFilter(t *testing.T) {
+	r, err := newRing([]string{"h1:1", "h2:2", "h3:3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "some-fingerprint"
+	full := r.owner(key, nil)
+	alive := func(dead string) func(string) bool {
+		return func(m string) bool { return m != dead }
+	}
+	// Killing the owner moves the key; killing someone else does not.
+	moved := r.owner(key, alive(full))
+	if moved == full || moved == "" {
+		t.Fatalf("owner with %s dead = %q", full, moved)
+	}
+	for _, m := range r.members {
+		if m == full {
+			continue
+		}
+		if got := r.owner(key, alive(m)); got != full {
+			t.Fatalf("killing non-owner %s moved the key to %s", m, got)
+		}
+	}
+	// Nobody alive: the caller falls back to itself.
+	if got := r.owner(key, func(string) bool { return false }); got != "" {
+		t.Fatalf("owner with all dead = %q, want empty", got)
+	}
+}
+
+func TestRingRejectsEmpty(t *testing.T) {
+	if _, err := newRing(nil); err == nil {
+		t.Fatal("newRing(nil) succeeded")
+	}
+	if _, err := newRing([]string{""}); err == nil {
+		t.Fatal("newRing with empty address succeeded")
+	}
+}

@@ -16,11 +16,16 @@ import (
 
 // Config tunes an Engine.
 type Config struct {
-	// Workers is the evaluation pool size (default: GOMAXPROCS). Note
-	// that a MethodRace job fans out into up to three concurrent
-	// contestant analyses while it holds its single worker slot, so peak
-	// compute under racing is up to 3·Workers — size Workers (or choose a
-	// single-method default) accordingly on memory-constrained hosts.
+	// Workers is the evaluation pool size (default: GOMAXPROCS) and the
+	// hard concurrency budget: the pool is slot-weighted, so a MethodRace
+	// job charges every concurrently running contestant against Workers.
+	// A race holds its worker's slot and borrows up to width-1 extra slots
+	// from the idle pool without blocking; contestants beyond the borrowed
+	// width share the held slots (degrading toward a sequential portfolio
+	// under full load) instead of oversubscribing memory. Peak concurrent
+	// analyses therefore never exceed Workers; Stats.RaceExtraSlots and
+	// Stats.RaceStarved report how often racing borrowed and how often it
+	// had to narrow.
 	Workers int
 	// QueueDepth is the buffered job queue length (default: 2·Workers).
 	QueueDepth int
@@ -44,6 +49,11 @@ type Config struct {
 	Options kperiodic.Options
 	// Symbolic are the budgets passed to every symbolic execution.
 	Symbolic symbexec.Options
+	// Dispatcher, when set, gets first claim on every leader job before it
+	// reaches the local worker pool — the cluster seam (internal/cluster
+	// forwards non-local jobs to their ring owner). Nil keeps every job
+	// local. The engine does not own the Dispatcher; close it after Close.
+	Dispatcher Dispatcher
 }
 
 func (cfg Config) withDefaults() Config {
@@ -74,10 +84,21 @@ type Engine struct {
 	flight *flightGroup
 	stats  counters
 
+	// slots is the evaluation-slot semaphore backing the slot-weighted
+	// pool: it holds Workers tokens, a worker takes one for the duration of
+	// each job, and a race borrows extras (borrowSlots) for its concurrent
+	// contestants, so total concurrent analyses never exceed Workers.
+	slots chan struct{}
+
 	pending atomic.Int64
 	closed  chan struct{}
-	once    sync.Once
-	wg      sync.WaitGroup
+	// shutdownCtx mirrors closed as a context, so dispatches blocked on
+	// network I/O (which take contexts, not channels) die promptly when
+	// the engine closes instead of stalling Close for a forward timeout.
+	shutdownCtx context.Context
+	shutdown    context.CancelFunc
+	once        sync.Once
+	wg          sync.WaitGroup
 
 	// evalFn computes a job's result; replaced in tests to observe
 	// scheduling behaviour without paying for real analyses.
@@ -110,6 +131,11 @@ func New(cfg Config) *Engine {
 		cache:  cache,
 		flight: newFlightGroup(),
 		closed: make(chan struct{}),
+		slots:  make(chan struct{}, cfg.Workers),
+	}
+	e.shutdownCtx, e.shutdown = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		e.slots <- struct{}{}
 	}
 	e.evalFn = e.evaluate
 	e.wg.Add(cfg.Workers)
@@ -121,13 +147,17 @@ func New(cfg Config) *Engine {
 
 // Close stops the pool: jobs already running on a worker complete
 // normally (their contexts are not cancelled, so their waiters still get
-// results), queued jobs that no worker picked up fail with ErrClosed, and
+// results), in-flight Dispatcher forwards are cancelled and fail with
+// ErrClosed, queued jobs that no worker picked up fail with ErrClosed, and
 // Close returns once every job has been resolved one way or the other and
 // the cache backend is closed. It is safe to call once; Submit calls
 // racing with Close may either complete or report ErrClosed (backends
 // treat post-Close Get/Put as no-op misses, so such stragglers are safe).
 func (e *Engine) Close() {
-	e.once.Do(func() { close(e.closed) })
+	e.once.Do(func() {
+		close(e.closed)
+		e.shutdown()
+	})
 	e.wg.Wait()
 	// Fail whatever is still queued; enqueue goroutines observe closed
 	// themselves, so pending drains to zero.
@@ -241,7 +271,22 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
 		prepared.NoCache = req.NoCache
 		prepared.cacheKeyHint = key
 		prepared.fingerprintHint = fingerprint
-		go e.enqueue(&job{req: prepared, call: c})
+		// Offer the job to the Dispatcher (cluster forwarding) unless the
+		// request pinned itself local: forwarded arrivals set NoForward so
+		// routing is capped at one hop even when replicas' health views
+		// disagree about who owns a key.
+		var djob *DispatchJob
+		if e.cfg.Dispatcher != nil && !req.NoForward {
+			djob = &DispatchJob{
+				Graph:           req.Graph,
+				Analyses:        analyses,
+				Method:          method,
+				ApplyCapacities: req.ApplyCapacities,
+				NoCache:         req.NoCache,
+				Fingerprint:     fingerprint,
+			}
+		}
+		go e.launch(&job{req: prepared, call: c}, djob)
 	} else {
 		e.stats.deduped.Add(1)
 	}
@@ -278,10 +323,38 @@ func (e *Engine) worker() {
 	for {
 		select {
 		case j := <-e.jobs:
+			// Take an evaluation slot for the job's duration. The wait is
+			// bounded: slots are only held by running analyses (including
+			// race-borrowed extras), all of which complete and release.
+			<-e.slots
 			e.runJob(j)
+			e.slots <- struct{}{}
 		case <-e.closed:
 			return
 		}
+	}
+}
+
+// borrowSlots takes up to n evaluation slots without blocking and returns
+// how many it got — the race fan-out budget. The caller must hand every
+// borrowed slot back with returnSlots once the extra work has fully exited.
+func (e *Engine) borrowSlots(n int) int {
+	got := 0
+	for got < n {
+		select {
+		case <-e.slots:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// returnSlots releases n borrowed evaluation slots.
+func (e *Engine) returnSlots(n int) {
+	for i := 0; i < n; i++ {
+		e.slots <- struct{}{}
 	}
 }
 

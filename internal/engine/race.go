@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
 
 	"kiter/internal/csdf"
 	"kiter/internal/kperiodic"
@@ -31,6 +32,14 @@ type raceOutcome struct {
 // is the most informative). skipSymbolic drops the symbolic contestant — used
 // when this job already ran the symbolic analysis and it failed, so a
 // rerun would only replay the same budget exhaustion.
+//
+// The fan-out is slot-weighted: the race's own slot (held by the worker
+// running this job) admits one contestant, and each extra concurrent
+// contestant needs a slot borrowed from the engine's idle pool, so racing
+// is charged against Config.Workers instead of multiplying it. Under a
+// fully busy pool no extras are available and the contestants share the
+// single held slot, running one after another — a sequential portfolio,
+// slower but within budget, with the same outcome semantics.
 func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic bool) (*ThroughputResult, error) {
 	raceCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -39,14 +48,41 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 	if skipSymbolic {
 		contestants = contestants[:2]
 	}
+	borrowed := e.borrowSlots(len(contestants) - 1)
+	e.stats.raceBorrowed.Add(uint64(borrowed))
+	if borrowed < len(contestants)-1 {
+		e.stats.raceStarved.Add(1)
+	}
+	// gate admits 1+borrowed concurrent contestants; a contestant that
+	// cannot enter waits for a running one to finish or the race to settle.
+	gate := make(chan struct{}, 1+borrowed)
 	ch := make(chan raceOutcome, len(contestants))
+	var exited sync.WaitGroup
+	exited.Add(len(contestants))
 	for _, m := range contestants {
 		m := m
 		go func() {
-			out := e.runMethod(raceCtx, g, m)
-			ch <- out
+			defer exited.Done()
+			select {
+			case gate <- struct{}{}:
+				defer func() { <-gate }()
+				ch <- e.runMethod(raceCtx, g, m)
+			case <-raceCtx.Done():
+				// The race settled (or was cancelled) before this
+				// contestant got a slot; report the cancellation so the
+				// collector's outcome count still balances.
+				ch <- raceOutcome{method: m, err: raceCtx.Err()}
+			}
 		}()
 	}
+	// Borrowed slots go back only after every contestant goroutine has
+	// fully exited: an early winner returns below while cancelled losers
+	// are still winding down, and releasing their slots early would let
+	// the pool transiently exceed Workers concurrent analyses.
+	go func() {
+		exited.Wait()
+		e.returnSlots(borrowed)
+	}()
 
 	var fallback *ThroughputResult // tightest non-optimal surviving bound
 	var firstErr error
@@ -55,7 +91,7 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 		out := <-ch
 		if out.definitive {
 			cancel()
-			e.stats.raceWin(out.method)
+			e.stats.raceWin(out.method, g.NumTasks())
 			return out.res, out.err
 		}
 		if out.err != nil {
@@ -77,7 +113,7 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 		}
 		if out.res.Optimal {
 			cancel()
-			e.stats.raceWin(out.method)
+			e.stats.raceWin(out.method, g.NumTasks())
 			return out.res, nil
 		}
 		// Keep the tightest surviving bound, not the first to arrive:

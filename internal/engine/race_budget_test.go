@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"kiter/internal/gen"
+)
+
+func TestBorrowSlots(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 3})
+	if got := e.borrowSlots(2); got != 2 {
+		t.Fatalf("borrowSlots(2) on an idle 3-slot pool = %d", got)
+	}
+	// One slot left: an over-ask is capped at what is free, non-blocking.
+	if got := e.borrowSlots(5); got != 1 {
+		t.Fatalf("borrowSlots(5) with 1 free slot = %d", got)
+	}
+	if got := e.borrowSlots(1); got != 0 {
+		t.Fatalf("borrowSlots(1) on a drained pool = %d", got)
+	}
+	e.returnSlots(3)
+	if got := e.borrowSlots(3); got != 3 {
+		t.Fatalf("borrowSlots(3) after returnSlots(3) = %d", got)
+	}
+	e.returnSlots(3)
+}
+
+// TestRaceUnderFullPoolDegradesNotDeadlocks: with every evaluation slot
+// already taken, a race cannot borrow extras — it must still complete (the
+// contestants share the one slot the caller holds, sequentially) and must
+// record the starvation. This is the regression test for the slot-weighted
+// accounting: the old pool would silently run 3 contestants on top of a
+// saturated Workers budget.
+func TestRaceUnderFullPoolDegradesNotDeadlocks(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	// Drain the whole pool, simulating a fully busy fleet of workers.
+	if got := e.borrowSlots(2); got != 2 {
+		t.Fatalf("drained %d slots, want 2", got)
+	}
+	defer e.returnSlots(2)
+
+	// Call the race directly the way a worker would: the worker's own slot
+	// is the one admission the gate always has, so a starved race
+	// degenerates to a sequential portfolio instead of deadlocking.
+	tr, err := e.raceThroughput(context.Background(), gen.Figure2(), false)
+	if err != nil {
+		t.Fatalf("starved race failed: %v", err)
+	}
+	if !tr.Optimal {
+		t.Fatalf("starved race result not optimal: %+v", tr)
+	}
+	if want := figure2Result(t); tr.Period != want {
+		t.Fatalf("starved race period = %s, want %s", tr.Period, want)
+	}
+	s := e.Stats()
+	if s.RaceStarved == 0 {
+		t.Fatalf("starved race not recorded: %+v", s)
+	}
+	if s.RaceExtraSlots != 0 {
+		t.Fatalf("race borrowed %d slots from a drained pool", s.RaceExtraSlots)
+	}
+}
+
+// TestRaceBorrowsAndReturnsSlots: on an idle pool a race borrows width-1
+// extra slots and hands every one of them back once its contestants exit.
+func TestRaceBorrowsAndReturnsSlots(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 4})
+	res, err := e.Submit(context.Background(), &Request{Graph: gen.Figure2(), Method: MethodRace})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if res.Throughput == nil || !res.Throughput.Optimal {
+		t.Fatalf("race did not settle: %+v", res)
+	}
+	if s := e.Stats(); s.RaceExtraSlots != 2 {
+		t.Fatalf("RaceExtraSlots = %d, want 2 (3 contestants, idle pool)", s.RaceExtraSlots)
+	}
+	// Every slot is back: losers may still be winding down briefly after
+	// the winner returned, so poll.
+	waitForStat(t, e, func(Stats) bool { return len(e.slots) == 4 })
+}
+
+// TestRaceWinsByCategory: a race win lands in the graph's size bucket and
+// Delta subtracts the nested counters.
+func TestRaceWinsByCategory(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	before := e.Stats()
+	res, err := e.Submit(context.Background(), &Request{Graph: gen.Figure2(), Method: MethodRace})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if !res.Throughput.Optimal {
+		t.Fatalf("race did not certify: %+v", res)
+	}
+	s := e.Stats()
+	// Figure2 has 3 tasks → "tiny" bucket; exactly one win recorded there,
+	// for whichever contestant won.
+	bucket := s.RaceWinsByCategory["tiny"]
+	if bucket == nil {
+		t.Fatalf("no tiny-bucket wins: %+v", s.RaceWinsByCategory)
+	}
+	var total, overall uint64
+	for _, v := range bucket {
+		total += v
+	}
+	for _, v := range s.RaceWins {
+		overall += v
+	}
+	if total != 1 || overall != 1 {
+		t.Fatalf("tiny wins = %d, overall wins = %d, want 1/1", total, overall)
+	}
+	d := s.Delta(before)
+	var dTotal uint64
+	for _, v := range d.RaceWinsByCategory["tiny"] {
+		dTotal += v
+	}
+	if dTotal != 1 {
+		t.Fatalf("delta tiny wins = %d, want 1", dTotal)
+	}
+	// A no-movement window drops the bucket entirely.
+	if d2 := e.Stats().Delta(s); d2.RaceWinsByCategory != nil {
+		t.Fatalf("idle delta kept category wins: %+v", d2.RaceWinsByCategory)
+	}
+}
+
+func TestRaceBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		tasks int
+		want  string
+	}{{1, "tiny"}, {4, "tiny"}, {5, "small"}, {16, "small"}, {17, "medium"}, {64, "medium"}, {65, "large"}, {100000, "large"}}
+	for _, c := range cases {
+		if got := raceBuckets[raceBucket(c.tasks)].name; got != c.want {
+			t.Fatalf("raceBucket(%d) = %s, want %s", c.tasks, got, c.want)
+		}
+	}
+}

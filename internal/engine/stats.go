@@ -2,6 +2,34 @@ package engine
 
 import "sync/atomic"
 
+// raceBuckets are the graph-size categories race winners are recorded
+// under, by task count. The portfolio's sweet spot shifts with size —
+// symbolic execution tends to win small graphs, K-Iter large ones — and
+// these per-category counters are the data a learned dispatch policy
+// (skip contestants that never win in a category) will be trained on.
+var raceBuckets = [...]struct {
+	name string
+	max  int // inclusive upper bound on task count
+}{
+	{"tiny", 4},
+	{"small", 16},
+	{"medium", 64},
+	{"large", int(^uint(0) >> 1)},
+}
+
+// raceBucket maps a task count onto its raceBuckets index.
+func raceBucket(tasks int) int {
+	for i, b := range raceBuckets {
+		if tasks <= b.max {
+			return i
+		}
+	}
+	return len(raceBuckets) - 1
+}
+
+// raceMethods indexes the race contestants in winsByCat.
+var raceMethods = [...]Method{MethodKIter, MethodPeriodic, MethodSymbolic}
+
 // counters holds the engine's hot-path telemetry. Everything is atomic:
 // the serving path never takes a lock to account.
 type counters struct {
@@ -10,6 +38,7 @@ type counters struct {
 	cacheMisses  atomic.Uint64
 	deduped      atomic.Uint64
 	evaluations  atomic.Uint64
+	remote       atomic.Uint64
 	errors       atomic.Uint64
 	cancelled    atomic.Uint64
 	rejected     atomic.Uint64
@@ -19,16 +48,28 @@ type counters struct {
 	winsKIter    atomic.Uint64
 	winsPeriodic atomic.Uint64
 	winsSymbolic atomic.Uint64
+	// winsByCat refines the race-win counters by graph-size bucket:
+	// [raceBucket][raceMethods index].
+	winsByCat [len(raceBuckets)][len(raceMethods)]atomic.Uint64
+
+	raceBorrowed atomic.Uint64
+	raceStarved  atomic.Uint64
 }
 
-func (c *counters) raceWin(m Method) {
+// raceWin records a portfolio-race victory for m on a graph of the given
+// task count.
+func (c *counters) raceWin(m Method, tasks int) {
+	bucket := raceBucket(tasks)
 	switch m {
 	case MethodKIter:
 		c.winsKIter.Add(1)
+		c.winsByCat[bucket][0].Add(1)
 	case MethodPeriodic:
 		c.winsPeriodic.Add(1)
+		c.winsByCat[bucket][1].Add(1)
 	case MethodSymbolic:
 		c.winsSymbolic.Add(1)
+		c.winsByCat[bucket][2].Add(1)
 	}
 }
 
@@ -40,8 +81,11 @@ type Stats struct {
 	CacheHits   uint64 `json:"cacheHits"`
 	CacheMisses uint64 `json:"cacheMisses"`
 	Deduped     uint64 `json:"deduped"`
-	// Evaluations counts jobs actually computed by workers.
-	Evaluations uint64 `json:"evaluations"`
+	// Evaluations counts jobs actually computed by workers on this
+	// replica; RemoteResults the jobs answered by a cluster peer through
+	// the Dispatcher instead.
+	Evaluations   uint64 `json:"evaluations"`
+	RemoteResults uint64 `json:"remoteResults"`
 	// Errors counts failed evaluations, Cancelled abandoned ones and
 	// Rejected submissions refused under overload.
 	Errors    uint64 `json:"errors"`
@@ -71,8 +115,21 @@ type Stats struct {
 	Workers    int `json:"workers"`
 	Pending    int `json:"pending"`
 	MaxPending int `json:"maxPending"`
-	// RaceWins counts portfolio-race victories per contestant.
-	RaceWins map[string]uint64 `json:"raceWins"`
+	// RaceWins counts portfolio-race victories per contestant;
+	// RaceWinsByCategory refines them by graph-size bucket (task count:
+	// tiny ≤ 4, small ≤ 16, medium ≤ 64, large beyond), keyed
+	// bucket → method. Only buckets with at least one win appear.
+	RaceWins           map[string]uint64            `json:"raceWins"`
+	RaceWinsByCategory map[string]map[string]uint64 `json:"raceWinsByCategory,omitempty"`
+	// RaceExtraSlots counts the evaluation slots races borrowed for extra
+	// concurrent contestants; RaceStarved the races that found fewer free
+	// slots than contestants and narrowed their fan-out (see
+	// Config.Workers for the slot-weighted accounting).
+	RaceExtraSlots uint64 `json:"raceExtraSlots"`
+	RaceStarved    uint64 `json:"raceStarved"`
+	// Cluster carries per-peer forward/serve/failover telemetry when the
+	// engine dispatches through a cluster (nil on a standalone replica).
+	Cluster []PeerStats `json:"cluster,omitempty"`
 }
 
 // Delta returns the counter movement from prev to s — the per-run view a
@@ -82,22 +139,62 @@ type Stats struct {
 // s's values. prev must be an earlier snapshot of the same engine.
 func (s Stats) Delta(prev Stats) Stats {
 	d := Stats{
-		Submitted:    s.Submitted - prev.Submitted,
-		CacheHits:    s.CacheHits - prev.CacheHits,
-		CacheMisses:  s.CacheMisses - prev.CacheMisses,
-		Deduped:      s.Deduped - prev.Deduped,
-		Evaluations:  s.Evaluations - prev.Evaluations,
-		Errors:       s.Errors - prev.Errors,
-		Cancelled:    s.Cancelled - prev.Cancelled,
-		Rejected:     s.Rejected - prev.Rejected,
-		CacheEntries: s.CacheEntries,
-		Workers:      s.Workers,
-		Pending:      s.Pending,
-		MaxPending:   s.MaxPending,
-		RaceWins:     make(map[string]uint64, len(s.RaceWins)),
+		Submitted:      s.Submitted - prev.Submitted,
+		CacheHits:      s.CacheHits - prev.CacheHits,
+		CacheMisses:    s.CacheMisses - prev.CacheMisses,
+		Deduped:        s.Deduped - prev.Deduped,
+		Evaluations:    s.Evaluations - prev.Evaluations,
+		RemoteResults:  s.RemoteResults - prev.RemoteResults,
+		Errors:         s.Errors - prev.Errors,
+		Cancelled:      s.Cancelled - prev.Cancelled,
+		Rejected:       s.Rejected - prev.Rejected,
+		RaceExtraSlots: s.RaceExtraSlots - prev.RaceExtraSlots,
+		RaceStarved:    s.RaceStarved - prev.RaceStarved,
+		CacheEntries:   s.CacheEntries,
+		Workers:        s.Workers,
+		Pending:        s.Pending,
+		MaxPending:     s.MaxPending,
+		RaceWins:       make(map[string]uint64, len(s.RaceWins)),
 	}
 	for k, v := range s.RaceWins {
 		d.RaceWins[k] = v - prev.RaceWins[k]
+	}
+	// Category wins subtract per bucket/method; a bucket absent from prev
+	// deltas from zero, and buckets that did not move are dropped.
+	for bucket, wins := range s.RaceWinsByCategory {
+		var db map[string]uint64
+		for m, v := range wins {
+			if dv := v - prev.RaceWinsByCategory[bucket][m]; dv > 0 {
+				if db == nil {
+					db = make(map[string]uint64)
+				}
+				db[m] = dv
+			}
+		}
+		if db != nil {
+			if d.RaceWinsByCategory == nil {
+				d.RaceWinsByCategory = make(map[string]map[string]uint64)
+			}
+			d.RaceWinsByCategory[bucket] = db
+		}
+	}
+	// Per-peer counters subtract like the top-level ones (peers matched by
+	// address, absent-from-prev deltas from zero); Healthy is a gauge and
+	// keeps s's view.
+	if len(s.Cluster) > 0 {
+		prevPeer := make(map[string]PeerStats, len(prev.Cluster))
+		for _, p := range prev.Cluster {
+			prevPeer[p.Peer] = p
+		}
+		d.Cluster = make([]PeerStats, 0, len(s.Cluster))
+		for _, p := range s.Cluster {
+			q := prevPeer[p.Peer]
+			p.Forwarded -= q.Forwarded
+			p.FailedOver -= q.FailedOver
+			p.Served -= q.Served
+			p.Probes -= q.Probes
+			d.Cluster = append(d.Cluster, p)
+		}
 	}
 	// Per-tier counters subtract like the top-level ones; Entries/Bytes
 	// are gauges and keep s's values. Tiers are matched by name, so a
@@ -141,29 +238,52 @@ func (e *Engine) Stats() Stats {
 		entries = e.cache.Len()
 	}
 	s := Stats{
-		Submitted:    e.stats.submitted.Load(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		Deduped:      e.stats.deduped.Load(),
-		Evaluations:  e.stats.evaluations.Load(),
-		Errors:       e.stats.errors.Load(),
-		Cancelled:    e.stats.cancelled.Load(),
-		Rejected:     e.stats.rejected.Load(),
-		CacheEntries: entries,
-		Workers:      e.cfg.Workers,
-		Pending:      int(e.pending.Load()),
-		MaxPending:   max(e.cfg.MaxPending, 0),
+		Submitted:      e.stats.submitted.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		Deduped:        e.stats.deduped.Load(),
+		Evaluations:    e.stats.evaluations.Load(),
+		RemoteResults:  e.stats.remote.Load(),
+		Errors:         e.stats.errors.Load(),
+		Cancelled:      e.stats.cancelled.Load(),
+		Rejected:       e.stats.rejected.Load(),
+		RaceExtraSlots: e.stats.raceBorrowed.Load(),
+		RaceStarved:    e.stats.raceStarved.Load(),
+		CacheEntries:   entries,
+		Workers:        e.cfg.Workers,
+		Pending:        int(e.pending.Load()),
+		MaxPending:     max(e.cfg.MaxPending, 0),
 		RaceWins: map[string]uint64{
 			string(MethodKIter):    e.stats.winsKIter.Load(),
 			string(MethodPeriodic): e.stats.winsPeriodic.Load(),
 			string(MethodSymbolic): e.stats.winsSymbolic.Load(),
 		},
 	}
+	for bi := range raceBuckets {
+		var bucket map[string]uint64
+		for mi, m := range raceMethods {
+			if v := e.stats.winsByCat[bi][mi].Load(); v > 0 {
+				if bucket == nil {
+					bucket = make(map[string]uint64)
+				}
+				bucket[string(m)] = v
+			}
+		}
+		if bucket != nil {
+			if s.RaceWinsByCategory == nil {
+				s.RaceWinsByCategory = make(map[string]map[string]uint64)
+			}
+			s.RaceWinsByCategory[raceBuckets[bi].name] = bucket
+		}
+	}
 	if hits+misses > 0 {
 		s.HitRate = float64(hits) / float64(hits+misses)
 	}
 	if ts, ok := e.cache.(TierStatser); ok {
 		s.CacheTiers = ts.TierStats()
+	}
+	if ds, ok := e.cfg.Dispatcher.(DispatchStatser); ok {
+		s.Cluster = ds.DispatchStats()
 	}
 	if n := e.stats.latencyCount.Load(); n > 0 {
 		s.LatencySamples = n

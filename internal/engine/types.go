@@ -89,6 +89,12 @@ type Request struct {
 	ApplyCapacities bool
 	// NoCache bypasses both cache lookup and cache store.
 	NoCache bool
+	// NoForward pins the evaluation to this process even when the engine
+	// has a cluster Dispatcher. The cluster's receiving handler sets it on
+	// forwarded arrivals, capping routing at a single hop (and making
+	// forwarding loops impossible) even when replicas' health views
+	// diverge about a key's owner.
+	NoForward bool
 
 	// cacheKeyHint and fingerprintHint are filled by Submit on the
 	// prepared request handed to workers, so the hash is computed once.
@@ -160,6 +166,10 @@ type Result struct {
 	// Deduped that it was coalesced onto an identical in-flight job.
 	CacheHit bool `json:"cacheHit"`
 	Deduped  bool `json:"deduped"`
+	// Peer is the cluster replica that evaluated the result when it was
+	// forwarded there (empty for local evaluations). It sticks through the
+	// local memo cache, so a later CacheHit still shows where the work ran.
+	Peer string `json:"peer,omitempty"`
 	// ElapsedMS is the wall-clock evaluation time of the job that
 	// produced the result (zero-cost for cache hits, shared for deduped
 	// submissions).
