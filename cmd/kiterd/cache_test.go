@@ -32,7 +32,7 @@ func TestSweepRestartServesFromDisk(t *testing.T) {
 		defer e.Close() // the "process exit": also closes the disk store
 		tmpl := testTemplate()
 		tmpl.Method = engine.MethodKIter
-		srv := newServer(e, tmpl, nil)
+		srv := newServer(e, tmpl, nil, observability{})
 		code, points, env := postSweep(t, srv, spec)
 		if code != http.StatusOK || env == nil {
 			t.Fatalf("sweep failed: status %d, envelope %v", code, env)

@@ -13,8 +13,18 @@
 //	                per scenario plus a closing {"envelope": …} aggregate
 //	                (min/max throughput, argmin/argmax, optional Pareto
 //	                front); disconnecting cancels the remaining scenarios
-//	GET  /healthz   liveness probe
+//	GET  /healthz   liveness probe; /healthz?ready=1 is the readiness
+//	                probe (503 until the engine and cache are serving)
 //	GET  /stats     engine telemetry (cache hit rate, latency, race wins)
+//	                plus the binary's build/version block
+//	GET  /metrics   Prometheus text exposition: request/solve latency
+//	                histograms, cache and cluster counters, build info
+//
+// POST /analyze?trace=1 additionally returns the request's span tree
+// (submit → cache lookup → queue wait → solve/analysis phases); with
+// -trace-log FILE every analyze request appends its tree as one NDJSON
+// line with a request ID. -pprof-addr serves net/http/pprof on a separate
+// listener; -version prints the build block and exits.
 //
 // Batch mode streams a directory (every .json/.xml graph under it) or a
 // manifest file (one graph path per line) through the engine in parallel
@@ -80,6 +90,7 @@ import (
 	"kiter/internal/gen"
 	"kiter/internal/kperiodic"
 	"kiter/internal/symbexec"
+	"kiter/internal/telemetry"
 )
 
 func main() {
@@ -119,14 +130,26 @@ func run() error {
 		peers          = flag.String("peers", "", "comma-separated peer replica addresses (host:port); jobs are consistently hashed across self+peers and forwarded to their owner")
 		selfAddr       = flag.String("self", "", "advertised cluster address of this replica (default: derived from -addr); every replica must list it under exactly this string")
 		forwardTimeout = flag.Duration("forward-timeout", 0, "per-job cluster forward budget before local fallback (0 = -timeout)")
+		traceLogPath   = flag.String("trace-log", "", "append every /analyze request's span tree as one NDJSON line to this file")
+		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		version        = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+
+	if *version {
+		printVersion(os.Stdout, readBuildInfo())
+		return nil
+	}
+
+	// One registry serves the whole process: the engine and cluster register
+	// their histograms into it at construction, and GET /metrics renders it.
+	reg := telemetry.NewRegistry()
 
 	backend, err := buildCacheBackend(*cacheDir, *cacheDiskBytes, *shards, *cacheSize)
 	if err != nil {
 		return err
 	}
-	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout)
+	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout, reg)
 	if err != nil {
 		return err
 	}
@@ -147,8 +170,12 @@ func run() error {
 		Options:       kperiodic.Options{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
 		Symbolic:      symbexec.Options{MaxEvents: *symEvents},
 		Dispatcher:    dispatcher,
+		Metrics:       reg,
 	})
 	defer e.Close()
+	build := readBuildInfo()
+	registerEngineCollector(reg, e)
+	registerBuildInfo(reg, build)
 	if *statsOut != "" {
 		// Registered after e.Close's defer, so it unwinds before Close:
 		// the snapshot sees the live engine and cache tiers.
@@ -206,11 +233,30 @@ func run() error {
 		}
 		return runBatch(e, paths, tmpl, os.Stdout, *ndjson)
 	default:
-		srv := newServer(e, tmpl, cl)
+		var traceLog *telemetry.TraceLog
+		if *traceLogPath != "" {
+			traceLog, err = telemetry.OpenTraceLog(*traceLogPath)
+			if err != nil {
+				return fmt.Errorf("opening -trace-log: %w", err)
+			}
+			defer traceLog.Close()
+		}
+		if *pprofAddr != "" {
+			// pprof lives on its own listener so profiling endpoints are
+			// never reachable through the serving address.
+			go func() {
+				if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil {
+					fmt.Fprintln(os.Stderr, "kiterd: pprof listener:", err)
+				}
+			}()
+			fmt.Printf("kiterd: pprof on %s\n", *pprofAddr)
+		}
+		srv := newServer(e, tmpl, cl, observability{reg: reg, traceLog: traceLog, build: build})
 		if cl != nil {
 			fmt.Printf("kiterd: clustered as %s (peers: %s)\n", cl.Self(), *peers)
 		}
 		fmt.Printf("kiterd: listening on %s (%d workers)\n", *addr, e.Stats().Workers)
+		srv.markReady()
 		return http.ListenAndServe(*addr, srv)
 	}
 }
@@ -221,7 +267,7 @@ func run() error {
 // defaults to the listen address, with a bare ":port" completed to
 // 127.0.0.1 — fine for a local fleet, but multi-host fleets must set -self
 // to the name the peers dial, because addresses are ring identities.
-func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration) (*cluster.Cluster, error) {
+func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration, reg *telemetry.Registry) (*cluster.Cluster, error) {
 	if peers == "" {
 		return nil, nil
 	}
@@ -252,6 +298,7 @@ func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.
 		Self:           self,
 		Peers:          list,
 		ForwardTimeout: forwardTimeout,
+		Metrics:        reg,
 	})
 }
 

@@ -28,7 +28,7 @@ func newTestServer(t *testing.T) *server {
 	t.Helper()
 	e := engine.New(engine.Config{Workers: 4})
 	t.Cleanup(e.Close)
-	return newServer(e, testTemplate(), nil)
+	return newServer(e, testTemplate(), nil, observability{})
 }
 
 func graphBody(t *testing.T) []byte {

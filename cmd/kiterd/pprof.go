@@ -1,0 +1,20 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// pprofMux builds the profiling mux mounted on -pprof-addr. The handlers
+// are registered explicitly on a private mux instead of importing the
+// package for its DefaultServeMux side effect, so profiling stays off the
+// serving listener and off by default.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -8,15 +8,30 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"kiter/internal/cluster"
 	"kiter/internal/engine"
 	"kiter/internal/sdf3x"
+	"kiter/internal/telemetry"
 )
 
 // maxBodyBytes bounds /analyze and /sweep request bodies (64 MiB covers the
 // largest Table 2 instances with room to spare).
 const maxBodyBytes = 64 << 20
+
+// observability bundles the telemetry seams handed to the server: the
+// metrics registry behind GET /metrics, the optional -trace-log NDJSON
+// sink, and the build block reported by /stats. The zero value is a fully
+// quiet server (no /metrics endpoint, no per-request histograms, no trace
+// log) — what most tests want.
+type observability struct {
+	reg      *telemetry.Registry
+	traceLog *telemetry.TraceLog
+	build    buildInfo
+}
 
 // server is the HTTP front-end over the analysis engine.
 type server struct {
@@ -25,25 +40,102 @@ type server struct {
 	mux  *http.ServeMux
 	// maxBody bounds request bodies; overridable in tests.
 	maxBody int64
+	obs     observability
+	// httpHist times every request by normalized endpoint and status code;
+	// nil (no registry) skips the middleware entirely.
+	httpHist *telemetry.HistogramVec
+	// ready gates /healthz?ready=1: false until the process finished
+	// constructing the engine, cache tiers and cluster and is about to
+	// accept traffic. Plain /healthz stays a pure liveness probe — cluster
+	// peers probe it to decide ring membership, and a replica that is alive
+	// but still warming up must answer those.
+	ready atomic.Bool
+	// reqSeq numbers traced requests for the trace log.
+	reqSeq atomic.Uint64
 }
 
 // newServer builds the HTTP front-end. cl is the optional cluster layer:
 // when set, the internal /cluster/evaluate endpoint is mounted so peer
 // replicas can forward jobs here, and /stats grows the per-peer cluster
-// section (via engine.Stats).
-func newServer(e *engine.Engine, tmpl requestTemplate, cl *cluster.Cluster) *server {
-	s := &server{e: e, tmpl: tmpl, mux: http.NewServeMux(), maxBody: maxBodyBytes}
+// section (via engine.Stats). obs wires the telemetry seams; the zero
+// observability disables all of them.
+func newServer(e *engine.Engine, tmpl requestTemplate, cl *cluster.Cluster, obs observability) *server {
+	s := &server{e: e, tmpl: tmpl, mux: http.NewServeMux(), maxBody: maxBodyBytes, obs: obs}
+	if obs.build == (buildInfo{}) {
+		s.obs.build = readBuildInfo()
+	}
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	if obs.reg != nil {
+		s.httpHist = obs.reg.HistogramVec("kiter_http_request_seconds",
+			"HTTP request latency by endpoint and status code, in seconds.",
+			telemetry.LatencyBuckets, "endpoint", "code")
+		s.mux.HandleFunc("/metrics", s.handleMetrics)
+	}
 	if cl != nil {
 		s.mux.Handle("/cluster/evaluate", cl.EvaluateHandler(e, tmpl.Timeout))
 	}
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// markReady flips the readiness probe to 200. Called once construction is
+// complete, immediately before the listener starts accepting.
+func (s *server) markReady() { s.ready.Store(true) }
+
+// endpointLabel normalizes a request path onto the server's fixed endpoint
+// set so the request histogram's label cardinality is bounded by the API
+// surface, not by whatever paths clients probe.
+func endpointLabel(path string) string {
+	switch path {
+	case "/analyze", "/sweep", "/healthz", "/stats", "/metrics", "/cluster/evaluate":
+		return path
+	}
+	return "other"
+}
+
+// statusWriter captures the response code for the request histogram.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the /sweep NDJSON path) through the
+// status capture.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.httpHist == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	s.httpHist.With(endpointLabel(r.URL.Path), strconv.Itoa(sw.code)).
+		Observe(time.Since(start).Seconds())
+}
+
+// handleMetrics renders every registered instrument plus the scrape-time
+// engine collectors in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.reg.WritePrometheus(w)
+}
 
 // analyzeEnvelope is the optional request wrapper: a bare graph body (the
 // repository's JSON graph format) is accepted too and detected by the
@@ -58,10 +150,22 @@ type analyzeEnvelope struct {
 
 // analyzeResponse is the /analyze reply: the analysis result plus a
 // telemetry snapshot taken after the submission, so every response carries
-// the serving cache hit-rate and latency counters.
+// the serving cache hit-rate and latency counters. With ?trace=1 the reply
+// also carries the request's span tree and its trace-log request ID.
 type analyzeResponse struct {
-	Result *engine.Result `json:"result"`
-	Stats  engine.Stats   `json:"stats"`
+	Result    *engine.Result      `json:"result"`
+	Stats     engine.Stats        `json:"stats"`
+	RequestID string              `json:"requestId,omitempty"`
+	Trace     *telemetry.SpanNode `json:"trace,omitempty"`
+}
+
+// traceRequested reports whether the client asked for the span tree.
+func traceRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
 }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -126,8 +230,39 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, s.tmpl.Timeout)
 		defer cancel()
 	}
+
+	// A span tree is built when the client asked for it (?trace=1) or the
+	// process logs traces (-trace-log); the engine's instrumentation hangs
+	// its submit/solve/analysis children off this root via the context.
+	wantTrace := traceRequested(r)
+	var span *telemetry.Span
+	var reqID string
+	if wantTrace || s.obs.traceLog != nil {
+		reqID = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+		span = telemetry.NewTrace("analyze")
+		span.SetAttr("requestId", reqID)
+		ctx = telemetry.ContextWithSpan(ctx, span)
+	}
+	// finishTrace ends the root and flushes it to the trace log; it runs on
+	// the error path too, so failed and timed-out requests leave a record.
+	finishTrace := func(status string) *telemetry.SpanNode {
+		if span == nil {
+			return nil
+		}
+		span.SetAttr("status", status)
+		span.End()
+		node := span.Snapshot()
+		if s.obs.traceLog != nil {
+			_ = s.obs.traceLog.Append(telemetry.TraceRecord{
+				RequestID: reqID, Endpoint: "/analyze", Trace: node,
+			})
+		}
+		return node
+	}
+
 	res, err := s.e.Submit(ctx, req)
 	if err != nil {
+		finishTrace("error")
 		switch {
 		case errors.Is(err, engine.ErrOverloaded):
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
@@ -142,7 +277,12 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, analyzeResponse{Result: res, Stats: s.e.Stats()})
+	resp := analyzeResponse{Result: res, Stats: s.e.Stats()}
+	if node := finishTrace("ok"); node != nil && wantTrace {
+		resp.RequestID = reqID
+		resp.Trace = node
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // readBody reads a POST body under the server's size cap, writing the
@@ -160,15 +300,39 @@ func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 	return body, true
 }
 
+// handleHealthz serves both probes. The plain GET /healthz is liveness —
+// "the process is up and serving HTTP" — and is what cluster peers probe,
+// so it answers 200 even while the replica is warming up (an alive replica
+// must rejoin the ring). GET /healthz?ready=1 is readiness — 503 until the
+// engine, cache tiers and cluster are constructed and the listener is
+// accepting — the probe a load balancer should gate traffic on.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("ready"); v != "" && v != "0" {
+		if !s.ready.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":  "ready",
+			"workers": s.e.Stats().Workers,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"workers": s.e.Stats().Workers,
 	})
 }
 
+// statsResponse is the /stats reply: the engine snapshot plus the binary's
+// build block, so a fleet scrape can tell replica versions apart.
+type statsResponse struct {
+	engine.Stats
+	Build buildInfo `json:"build"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.e.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{Stats: s.e.Stats(), Build: s.obs.build})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

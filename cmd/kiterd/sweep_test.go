@@ -57,7 +57,7 @@ func TestSweepEndToEnd(t *testing.T) {
 	t.Cleanup(e.Close)
 	tmpl := testTemplate()
 	tmpl.Method = engine.MethodKIter
-	srv := newServer(e, tmpl, nil)
+	srv := newServer(e, tmpl, nil, observability{})
 
 	spec := sweep.VideoPipelineSpec(10, 10) // 100 scenarios
 	body, err := json.Marshal(spec)
@@ -225,7 +225,7 @@ func awaitStat(t *testing.T, deadline time.Duration, what string, get func() uin
 func TestAnalyzeClientDisconnectCancelsJob(t *testing.T) {
 	e := engine.New(engine.Config{Workers: 2})
 	t.Cleanup(e.Close)
-	srv := newServer(e, testTemplate(), nil)
+	srv := newServer(e, testTemplate(), nil, observability{})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 
@@ -265,7 +265,7 @@ func TestAnalyzeClientDisconnectCancelsJob(t *testing.T) {
 func TestSweepClientDisconnectCancelsJobs(t *testing.T) {
 	e := engine.New(engine.Config{Workers: 2})
 	t.Cleanup(e.Close)
-	srv := newServer(e, testTemplate(), nil)
+	srv := newServer(e, testTemplate(), nil, observability{})
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// buildInfo is the version block reported by -version, GET /stats and the
+// kiter_build_info metric. Values come from debug.ReadBuildInfo, so a
+// `go build`-produced binary reports its module version and VCS revision
+// without any ldflags ceremony.
+type buildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+	Revision  string `json:"revision,omitempty"`
+	BuildTime string `json:"buildTime,omitempty"`
+	Modified  bool   `json:"dirty,omitempty"`
+}
+
+// readBuildInfo extracts the version block from the running binary.
+// Binaries built without module support (go test in odd modes) degrade to
+// the runtime's Go version and "(devel)".
+func readBuildInfo() buildInfo {
+	b := buildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.BuildTime = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// printVersion renders the -version flag output.
+func printVersion(w io.Writer, b buildInfo) {
+	fmt.Fprintf(w, "kiterd %s (%s)", b.Version, b.GoVersion)
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(w, " rev %s", rev)
+		if b.Modified {
+			fmt.Fprint(w, "-dirty")
+		}
+	}
+	fmt.Fprintln(w)
+}

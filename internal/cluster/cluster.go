@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"kiter/internal/engine"
+	"kiter/internal/telemetry"
 )
 
 // peerHeader carries the sender's advertised address on forwarded
@@ -54,6 +55,9 @@ type Config struct {
 	ProbeTimeout     time.Duration
 	// Client overrides the forwarding HTTP client (tests).
 	Client *http.Client
+	// Metrics, when non-nil, registers the cluster's forward-RTT histogram
+	// (kiter_cluster_forward_seconds, labeled by peer and outcome).
+	Metrics *telemetry.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -104,6 +108,10 @@ type Cluster struct {
 	// their own synchronization.
 	peers map[string]*peerState
 
+	// forwardRTT times each forwarded evaluation end to end, labeled by
+	// peer and outcome (ok / error). Nil when Config.Metrics was nil.
+	forwardRTT *telemetry.HistogramVec
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -133,6 +141,11 @@ func New(cfg Config) (*Cluster, error) {
 		ring:  ring,
 		peers: make(map[string]*peerState),
 		stop:  make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		c.forwardRTT = cfg.Metrics.HistogramVec("kiter_cluster_forward_seconds",
+			"Round-trip time of one forwarded evaluation, in seconds.",
+			telemetry.LatencyBuckets, "peer", "outcome")
 	}
 	for _, m := range members {
 		if m == cfg.Self {
@@ -204,7 +217,17 @@ func (c *Cluster) Dispatch(ctx context.Context, job *engine.DispatchJob) (*engin
 		// nil row must not panic the serving path.
 		return nil, false, nil
 	}
-	res, err := c.forward(ctx, owner, job)
+	fctx, fspan := telemetry.StartSpan(ctx, "cluster.forward")
+	fspan.SetAttr("peer", owner)
+	start := time.Now()
+	res, err := c.forward(fctx, owner, job)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+		fspan.SetAttr("error", err.Error())
+	}
+	fspan.End()
+	c.forwardRTT.With(owner, outcome).Observe(time.Since(start).Seconds())
 	switch {
 	case err == nil:
 		ps.forwarded.Add(1)

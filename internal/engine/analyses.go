@@ -9,6 +9,7 @@ import (
 	"kiter/internal/sched"
 	"kiter/internal/sizing"
 	"kiter/internal/symbexec"
+	"kiter/internal/telemetry"
 )
 
 // analysisOrder fixes the execution order regardless of how the request
@@ -35,17 +36,19 @@ func (e *Engine) evaluate(ctx context.Context, req *Request) (*Result, error) {
 		if !requested[a] {
 			continue
 		}
+		actx, aspan := telemetry.StartSpan(ctx, "analysis."+string(a))
 		var err error
 		switch a {
 		case AnalysisThroughput:
-			err = e.analyzeThroughput(ctx, req, res)
+			err = e.analyzeThroughput(actx, req, res)
 		case AnalysisSchedule:
-			err = e.analyzeSchedule(ctx, req.Graph, res)
+			err = e.analyzeSchedule(actx, req.Graph, res)
 		case AnalysisSizing:
-			err = e.analyzeSizing(ctx, req.Graph, res)
+			err = e.analyzeSizing(actx, req.Graph, res)
 		case AnalysisSymbolic:
-			err = e.analyzeSymbolic(ctx, req.Graph, res)
+			err = e.analyzeSymbolic(actx, req.Graph, res)
 		}
+		aspan.End()
 		if err != nil {
 			return nil, err
 		}

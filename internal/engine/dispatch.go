@@ -88,8 +88,9 @@ func (e *Engine) launch(j *job, djob *DispatchJob) {
 	if djob != nil {
 		// The dispatch context dies with the last waiter (flight refcount)
 		// or with the engine itself, so Close never has to wait out a
-		// remote forward's timeout.
-		dctx, cancel := context.WithCancel(j.call.jobCtx)
+		// remote forward's timeout. It derives from evalCtx so the job's
+		// trace span (if any) reaches the cluster's forward hop.
+		dctx, cancel := context.WithCancel(j.evalCtx())
 		stop := context.AfterFunc(e.shutdownCtx, cancel)
 		res, handled, err := e.cfg.Dispatcher.Dispatch(dctx, djob)
 		stop()

@@ -12,6 +12,7 @@ import (
 
 	"kiter/internal/kperiodic"
 	"kiter/internal/symbexec"
+	"kiter/internal/telemetry"
 )
 
 // Config tunes an Engine.
@@ -54,6 +55,13 @@ type Config struct {
 	// forwards non-local jobs to their ring owner). Nil keeps every job
 	// local. The engine does not own the Dispatcher; close it after Close.
 	Dispatcher Dispatcher
+	// Metrics, when set, receives the engine's latency histograms and
+	// solver-phase instruments (queue wait, per-method solve time, K-Iter
+	// rounds, Howard iterations, arcs built/reused). The engine registers
+	// its instruments in New, so a Registry serves at most one Engine; nil
+	// disables histogram instrumentation at the cost of one nil check per
+	// site. Counter-style telemetry stays on Stats either way.
+	Metrics *telemetry.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -103,12 +111,69 @@ type Engine struct {
 	// evalFn computes a job's result; replaced in tests to observe
 	// scheduling behaviour without paying for real analyses.
 	evalFn func(ctx context.Context, req *Request) (*Result, error)
+
+	// met holds the histogram instruments built from Config.Metrics. Every
+	// field may be nil (telemetry disabled); all observation methods no-op
+	// on nil receivers.
+	met instruments
+}
+
+// instruments bundles the engine's histogram/counter instrumentation
+// points — the latency-distribution telemetry that Stats' plain counters
+// cannot express.
+type instruments struct {
+	// queueWait is submit→dequeue: the time a leader job spent in the
+	// queue plus waiting for an evaluation slot.
+	queueWait *telemetry.Histogram
+	// evaluation is dequeue→done for successful evaluations — the solve
+	// wall time MeanLatencyMS averages, as a full distribution.
+	evaluation *telemetry.Histogram
+	// cacheLookup times CacheBackend.Get (a disk-tier hit pays a decode).
+	cacheLookup *telemetry.Histogram
+	// solve is per-method solver wall time, labeled by contestant; under
+	// racing every contestant that runs to completion observes.
+	solve *telemetry.HistogramVec
+	// kiterRounds is K-Iter's Algorithm 1 round count per solve;
+	// howardIters the total Howard policy-improvement rounds per solve.
+	kiterRounds *telemetry.Histogram
+	howardIters *telemetry.Histogram
+	// arcsBuilt/arcsReused count incremental-expansion arc work.
+	arcsBuilt  *telemetry.Counter
+	arcsReused *telemetry.Counter
+}
+
+func newInstruments(m *telemetry.Registry) instruments {
+	return instruments{
+		queueWait: m.Histogram("kiter_engine_queue_wait_seconds",
+			"Time from job enqueue to a worker slot, in seconds.", telemetry.LatencyBuckets),
+		evaluation: m.Histogram("kiter_engine_evaluation_seconds",
+			"Wall time of successful evaluations, in seconds.", telemetry.LatencyBuckets),
+		cacheLookup: m.Histogram("kiter_engine_cache_lookup_seconds",
+			"Memo-cache lookup time (all tiers), in seconds.", telemetry.LatencyBuckets),
+		solve: m.HistogramVec("kiter_solver_solve_seconds",
+			"Per-method throughput solve time, in seconds.", telemetry.LatencyBuckets, "method"),
+		kiterRounds: m.Histogram("kiter_solver_kiter_rounds",
+			"K-Iter Algorithm 1 rounds per solve.", telemetry.CountBuckets),
+		howardIters: m.Histogram("kiter_solver_howard_iterations",
+			"Howard policy-improvement rounds per solve (summed over K-Iter rounds).", telemetry.CountBuckets),
+		arcsBuilt: m.Counter("kiter_solver_arcs_built_total",
+			"Constraint arcs built from phase pairs during expansion."),
+		arcsReused: m.Counter("kiter_solver_arcs_reused_total",
+			"Constraint arcs replayed from a previous round's block cache."),
+	}
 }
 
 // job couples a request with the flight call its waiters share.
 type job struct {
 	req  *Request
 	call *flightCall
+	// ctx is the evaluation context: the flight's jobCtx, wrapped with the
+	// submitter's trace span when the request is traced. Cancellation
+	// always flows from jobCtx.
+	ctx context.Context
+	// enqueuedAt stamps the hand-off to the worker pool for the
+	// queue-wait histogram and trace span.
+	enqueuedAt time.Time
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -134,6 +199,7 @@ func New(cfg Config) *Engine {
 		slots:  make(chan struct{}, cfg.Workers),
 	}
 	e.shutdownCtx, e.shutdown = context.WithCancel(context.Background())
+	e.met = newInstruments(cfg.Metrics)
 	for i := 0; i < cfg.Workers; i++ {
 		e.slots <- struct{}{}
 	}
@@ -232,8 +298,19 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
 	}
 	key := cacheKey(fingerprint, analyses, keyMethod, req.ApplyCapacities)
 
+	span := telemetry.FromContext(ctx)
+	span.SetAttr("fingerprint", fingerprint)
+	span.SetAttr("method", string(method))
 	if !req.NoCache && e.cache != nil {
-		if res, ok := e.cache.Get(key); ok {
+		lookupStart := time.Now()
+		res, ok := e.cache.Get(key)
+		lookupDur := time.Since(lookupStart)
+		e.met.cacheLookup.Observe(lookupDur.Seconds())
+		if span != nil {
+			span.Record("cache.lookup", lookupStart, lookupDur)
+			span.SetAttr("cacheHit", ok)
+		}
+		if ok {
 			e.stats.cacheHits.Add(1)
 			out := res.shallowCopy()
 			out.Graph = req.Graph.Name
@@ -271,6 +348,14 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
 		prepared.NoCache = req.NoCache
 		prepared.cacheKeyHint = key
 		prepared.fingerprintHint = fingerprint
+		// The leader's trace span rides into the evaluation context, so
+		// solver phases attach below the submitter that started the job.
+		// Deduped waiters share the result, not the tree. Cancellation
+		// still flows from jobCtx alone.
+		jctx := c.jobCtx
+		if span != nil {
+			jctx = telemetry.ContextWithSpan(jctx, span)
+		}
 		// Offer the job to the Dispatcher (cluster forwarding) unless the
 		// request pinned itself local: forwarded arrivals set NoForward so
 		// routing is capped at one hop even when replicas' health views
@@ -286,9 +371,10 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
 				Fingerprint:     fingerprint,
 			}
 		}
-		go e.launch(&job{req: prepared, call: c}, djob)
+		go e.launch(&job{req: prepared, call: c, ctx: jctx}, djob)
 	} else {
 		e.stats.deduped.Add(1)
+		span.SetAttr("deduped", true)
 	}
 
 	select {
@@ -309,6 +395,7 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
 // enqueue hands a job to the pool, giving up when every waiter abandoned
 // it or the engine closed before a worker became free.
 func (e *Engine) enqueue(j *job) {
+	j.enqueuedAt = time.Now()
 	select {
 	case e.jobs <- j:
 	case <-j.call.jobCtx.Done():
@@ -327,6 +414,13 @@ func (e *Engine) worker() {
 			// bounded: slots are only held by running analyses (including
 			// race-borrowed extras), all of which complete and release.
 			<-e.slots
+			if !j.enqueuedAt.IsZero() {
+				// Queue wait covers both the channel and the slot wait —
+				// the full submit→dequeue gap a loaded pool adds.
+				wait := time.Since(j.enqueuedAt)
+				e.met.queueWait.Observe(wait.Seconds())
+				telemetry.FromContext(j.evalCtx()).Record("queue.wait", j.enqueuedAt, wait)
+			}
 			e.runJob(j)
 			e.slots <- struct{}{}
 		case <-e.closed:
@@ -358,9 +452,18 @@ func (e *Engine) returnSlots(n int) {
 	}
 }
 
+// evalCtx returns the context evaluations run under: the span-carrying
+// wrapper when the job is traced, the bare flight context otherwise.
+func (j *job) evalCtx() context.Context {
+	if j.ctx != nil {
+		return j.ctx
+	}
+	return j.call.jobCtx
+}
+
 // runJob computes one job and publishes its outcome to every waiter.
 func (e *Engine) runJob(j *job) {
-	ctx := j.call.jobCtx
+	ctx := j.evalCtx()
 	if err := ctx.Err(); err != nil {
 		e.finishJob(j, nil, err)
 		return
@@ -377,6 +480,7 @@ func (e *Engine) runJob(j *job) {
 		// engine actually completed.
 		e.stats.latencyNanos.Add(int64(elapsed))
 		e.stats.latencyCount.Add(1)
+		e.met.evaluation.Observe(elapsed.Seconds())
 		res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 		if !j.req.NoCache && e.cache != nil {
 			e.cache.Put(j.req.cacheKeyHint, res)

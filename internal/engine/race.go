@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math/big"
 	"sync"
+	"time"
 
 	"kiter/internal/csdf"
 	"kiter/internal/kperiodic"
 	"kiter/internal/symbexec"
+	"kiter/internal/telemetry"
 )
 
 // raceOutcome is one contestant's report.
@@ -41,7 +43,9 @@ type raceOutcome struct {
 // single held slot, running one after another — a sequential portfolio,
 // slower but within budget, with the same outcome semantics.
 func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic bool) (*ThroughputResult, error) {
-	raceCtx, cancel := context.WithCancel(ctx)
+	rctx, rspan := telemetry.StartSpan(ctx, "race")
+	defer rspan.End()
+	raceCtx, cancel := context.WithCancel(rctx)
 	defer cancel()
 
 	contestants := []Method{MethodKIter, MethodPeriodic, MethodSymbolic}
@@ -53,6 +57,7 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 	if borrowed < len(contestants)-1 {
 		e.stats.raceStarved.Add(1)
 	}
+	rspan.SetAttr("borrowedSlots", int64(borrowed))
 	// gate admits 1+borrowed concurrent contestants; a contestant that
 	// cannot enter waits for a running one to finish or the race to settle.
 	gate := make(chan struct{}, 1+borrowed)
@@ -92,6 +97,7 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 		if out.definitive {
 			cancel()
 			e.stats.raceWin(out.method, g.NumTasks())
+			rspan.SetAttr("winner", string(out.method))
 			return out.res, out.err
 		}
 		if out.err != nil {
@@ -114,6 +120,7 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 		if out.res.Optimal {
 			cancel()
 			e.stats.raceWin(out.method, g.NumTasks())
+			rspan.SetAttr("winner", string(out.method))
 			return out.res, nil
 		}
 		// Keep the tightest surviving bound, not the first to arrive:
@@ -156,12 +163,55 @@ func boundRat(t *ThroughputResult) (*big.Rat, bool) {
 	return new(big.Rat).SetString(t.Throughput)
 }
 
-// runMethod evaluates the throughput of g with one strategy.
+// runMethod evaluates the throughput of g with one strategy, timing it
+// into the per-method solve histogram and a "solve.<method>" trace span —
+// under racing this is each contestant's phase record.
 func (e *Engine) runMethod(ctx context.Context, g *csdf.Graph, m Method) raceOutcome {
+	mctx, span := telemetry.StartSpan(ctx, "solve."+string(m))
+	start := time.Now()
+	out := e.runMethodInner(mctx, g, m)
+	e.met.solve.With(string(m)).Observe(time.Since(start).Seconds())
+	if span != nil {
+		if out.err != nil {
+			span.SetAttr("error", out.err.Error())
+		} else if out.res != nil {
+			span.SetAttr("optimal", out.res.Optimal)
+		}
+		span.End()
+	}
+	return out
+}
+
+// observeKIter folds a K-Iter run's work counters into the solver
+// histograms. res may be a partial result (cancellation, budget) or nil
+// (non-convergence). Arc work is real either way and always counts; the
+// rounds/Howard distributions take completed solves only — a race loser
+// cancelled mid-run would otherwise skew them toward truncated counts.
+func (e *Engine) observeKIter(res *kperiodic.KIterResult, err error) {
+	if res == nil {
+		return
+	}
+	var built, reused, howard int64
+	for _, step := range res.Trace {
+		built += int64(step.ArcsBuilt)
+		reused += int64(step.ArcsReused)
+		howard += int64(step.HowardIterations)
+	}
+	e.met.arcsBuilt.Add(uint64(built))
+	e.met.arcsReused.Add(uint64(reused))
+	if err == nil {
+		e.met.kiterRounds.Observe(float64(res.Iterations))
+		e.met.howardIters.Observe(float64(howard))
+	}
+}
+
+// runMethodInner dispatches to the solver for one strategy.
+func (e *Engine) runMethodInner(ctx context.Context, g *csdf.Graph, m Method) raceOutcome {
 	out := raceOutcome{method: m}
 	switch m {
 	case MethodKIter:
 		res, err := kperiodic.KIterCtx(ctx, g, e.cfg.Options)
+		e.observeKIter(res, err)
 		if err != nil {
 			return kperiodicFailure(out, err)
 		}
@@ -173,6 +223,7 @@ func (e *Engine) runMethod(ctx context.Context, g *csdf.Graph, m Method) raceOut
 		if err != nil {
 			return kperiodicFailure(out, err)
 		}
+		e.met.howardIters.Observe(float64(ev.HowardIterations))
 		out.res = fromEvaluation(ev, m)
 		return out
 	case MethodExpansion:
@@ -180,6 +231,7 @@ func (e *Engine) runMethod(ctx context.Context, g *csdf.Graph, m Method) raceOut
 		if err != nil {
 			return kperiodicFailure(out, err)
 		}
+		e.met.howardIters.Observe(float64(ev.HowardIterations))
 		out.res = fromEvaluation(ev, m)
 		return out
 	case MethodSymbolic:

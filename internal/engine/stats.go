@@ -132,24 +132,39 @@ type Stats struct {
 	Cluster []PeerStats `json:"cluster,omitempty"`
 }
 
+// sub subtracts windowed counters with an underflow clamp. Snapshots are
+// not atomic across fields: Stats loads each counter separately, so two
+// snapshots racing concurrent traffic (a /metrics scrape during a sweep, a
+// prev taken by another goroutine) can observe individual counters in an
+// order where a-b would wrap to ~2^64. A clamped zero is an honest "no
+// movement visible in this window"; a wrapped counter is garbage that
+// breaks every downstream rate computation.
+func sub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}
+
 // Delta returns the counter movement from prev to s — the per-run view a
 // sweep or batch reports in its closing summary. Monotonic counters are
-// subtracted; HitRate and MeanLatencyMS are recomputed over the window;
-// point-in-time gauges (CacheEntries, Workers, Pending, MaxPending) keep
-// s's values. prev must be an earlier snapshot of the same engine.
+// subtracted (clamped at zero, see sub); HitRate and MeanLatencyMS are
+// recomputed over the window; point-in-time gauges (CacheEntries, Workers,
+// Pending, MaxPending) keep s's values. prev must be an earlier snapshot
+// of the same engine.
 func (s Stats) Delta(prev Stats) Stats {
 	d := Stats{
-		Submitted:      s.Submitted - prev.Submitted,
-		CacheHits:      s.CacheHits - prev.CacheHits,
-		CacheMisses:    s.CacheMisses - prev.CacheMisses,
-		Deduped:        s.Deduped - prev.Deduped,
-		Evaluations:    s.Evaluations - prev.Evaluations,
-		RemoteResults:  s.RemoteResults - prev.RemoteResults,
-		Errors:         s.Errors - prev.Errors,
-		Cancelled:      s.Cancelled - prev.Cancelled,
-		Rejected:       s.Rejected - prev.Rejected,
-		RaceExtraSlots: s.RaceExtraSlots - prev.RaceExtraSlots,
-		RaceStarved:    s.RaceStarved - prev.RaceStarved,
+		Submitted:      sub(s.Submitted, prev.Submitted),
+		CacheHits:      sub(s.CacheHits, prev.CacheHits),
+		CacheMisses:    sub(s.CacheMisses, prev.CacheMisses),
+		Deduped:        sub(s.Deduped, prev.Deduped),
+		Evaluations:    sub(s.Evaluations, prev.Evaluations),
+		RemoteResults:  sub(s.RemoteResults, prev.RemoteResults),
+		Errors:         sub(s.Errors, prev.Errors),
+		Cancelled:      sub(s.Cancelled, prev.Cancelled),
+		Rejected:       sub(s.Rejected, prev.Rejected),
+		RaceExtraSlots: sub(s.RaceExtraSlots, prev.RaceExtraSlots),
+		RaceStarved:    sub(s.RaceStarved, prev.RaceStarved),
 		CacheEntries:   s.CacheEntries,
 		Workers:        s.Workers,
 		Pending:        s.Pending,
@@ -157,14 +172,14 @@ func (s Stats) Delta(prev Stats) Stats {
 		RaceWins:       make(map[string]uint64, len(s.RaceWins)),
 	}
 	for k, v := range s.RaceWins {
-		d.RaceWins[k] = v - prev.RaceWins[k]
+		d.RaceWins[k] = sub(v, prev.RaceWins[k])
 	}
 	// Category wins subtract per bucket/method; a bucket absent from prev
 	// deltas from zero, and buckets that did not move are dropped.
 	for bucket, wins := range s.RaceWinsByCategory {
 		var db map[string]uint64
 		for m, v := range wins {
-			if dv := v - prev.RaceWinsByCategory[bucket][m]; dv > 0 {
+			if dv := sub(v, prev.RaceWinsByCategory[bucket][m]); dv > 0 {
 				if db == nil {
 					db = make(map[string]uint64)
 				}
@@ -189,10 +204,10 @@ func (s Stats) Delta(prev Stats) Stats {
 		d.Cluster = make([]PeerStats, 0, len(s.Cluster))
 		for _, p := range s.Cluster {
 			q := prevPeer[p.Peer]
-			p.Forwarded -= q.Forwarded
-			p.FailedOver -= q.FailedOver
-			p.Served -= q.Served
-			p.Probes -= q.Probes
+			p.Forwarded = sub(p.Forwarded, q.Forwarded)
+			p.FailedOver = sub(p.FailedOver, q.FailedOver)
+			p.Served = sub(p.Served, q.Served)
+			p.Probes = sub(p.Probes, q.Probes)
 			d.Cluster = append(d.Cluster, p)
 		}
 	}
@@ -207,8 +222,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		d.CacheTiers = make([]CacheTierStats, 0, len(s.CacheTiers))
 		for _, t := range s.CacheTiers {
 			p := prevTier[t.Tier]
-			t.Hits -= p.Hits
-			t.Misses -= p.Misses
+			t.Hits = sub(t.Hits, p.Hits)
+			t.Misses = sub(t.Misses, p.Misses)
 			d.CacheTiers = append(d.CacheTiers, t)
 		}
 	}
@@ -218,7 +233,7 @@ func (s Stats) Delta(prev Stats) Stats {
 	// Mean latency over the window, reconstructed from the cumulative
 	// means over *finished* evaluations (LatencySamples, not Evaluations —
 	// the latter counts in-flight jobs whose latency is not yet recorded).
-	d.LatencySamples = s.LatencySamples - prev.LatencySamples
+	d.LatencySamples = sub(s.LatencySamples, prev.LatencySamples)
 	if d.LatencySamples > 0 {
 		d.MeanLatencyMS = (s.MeanLatencyMS*float64(s.LatencySamples) -
 			prev.MeanLatencyMS*float64(prev.LatencySamples)) / float64(d.LatencySamples)
@@ -285,9 +300,16 @@ func (e *Engine) Stats() Stats {
 	if ds, ok := e.cfg.Dispatcher.(DispatchStatser); ok {
 		s.Cluster = ds.DispatchStats()
 	}
+	// latencyNanos is loaded before latencyCount: runJob adds nanos first,
+	// so in this order the count can only include samples whose nanos are
+	// already visible — the quotient under-reports slightly under
+	// concurrent traffic rather than averaging phantom time. (The loads
+	// are still two separate atomics; a snapshot is consistent-enough, not
+	// transactional, which is why Delta clamps.)
+	nanos := e.stats.latencyNanos.Load()
 	if n := e.stats.latencyCount.Load(); n > 0 {
 		s.LatencySamples = n
-		s.MeanLatencyMS = float64(e.stats.latencyNanos.Load()) / float64(n) / 1e6
+		s.MeanLatencyMS = float64(nanos) / float64(n) / 1e6
 	}
 	return s
 }

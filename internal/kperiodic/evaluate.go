@@ -68,11 +68,12 @@ func resolve(ctx context.Context, b *builder, s *mcr.Solver, opt Options) (*eval
 func (ev *evaluation) toEvaluation() *Evaluation {
 	b := ev.b
 	out := &Evaluation{
-		K:         append([]int64(nil), b.K...),
-		LcmK:      new(big.Int).Set(b.lcmK),
-		Certified: ev.res.Certified,
-		Nodes:     b.mg.NumNodes(),
-		Arcs:      b.mg.NumArcs(),
+		K:                append([]int64(nil), b.K...),
+		LcmK:             new(big.Int).Set(b.lcmK),
+		Certified:        ev.res.Certified,
+		Nodes:            b.mg.NumNodes(),
+		Arcs:             b.mg.NumArcs(),
+		HowardIterations: ev.res.Iterations,
 	}
 	out.Period = ev.res.Ratio
 	if out.Period.Sign() > 0 {

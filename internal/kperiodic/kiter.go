@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"kiter/internal/csdf"
 	"kiter/internal/mcr"
 	"kiter/internal/rat"
+	"kiter/internal/telemetry"
 )
 
 // IterStep records one round of the K-Iter loop for tracing and the
@@ -22,6 +24,10 @@ type IterStep struct {
 	// this round: constraint arcs recomputed from their buffer's phase
 	// pairs vs. replayed from a previous round's block cache.
 	ArcsBuilt, ArcsReused int
+	// HowardIterations counts the MCRP solver's policy-improvement rounds
+	// in this K-Iter round (zero when the round was infeasible before the
+	// solve completed).
+	HowardIterations int
 }
 
 // KIterResult is the outcome of Algorithm 1: an optimal Evaluation plus
@@ -33,6 +39,10 @@ type KIterResult struct {
 }
 
 const defaultMaxIterations = 10000
+
+// maxTracedRounds caps how many K-Iter rounds get their own child span in a
+// request trace.
+const maxTracedRounds = 32
 
 // KIter computes the exact maximum throughput of g by Algorithm 1 of the
 // paper: starting from K = [1,…,1], it repeatedly evaluates the minimum
@@ -88,6 +98,17 @@ func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, er
 	}
 	b.ctx = ctx
 	solver := mcr.NewSolver()
+	span := telemetry.FromContext(ctx)
+	defer func() {
+		span.AddInt("iterations", int64(result.Iterations))
+		var built, reused int64
+		for _, step := range result.Trace {
+			built += int64(step.ArcsBuilt)
+			reused += int64(step.ArcsReused)
+		}
+		span.AddInt("arcsBuilt", built)
+		span.AddInt("arcsReused", reused)
+	}()
 	for iter := 0; iter < maxIter; iter++ {
 		if err := ctx.Err(); err != nil {
 			return result, err
@@ -98,7 +119,14 @@ func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, er
 				return result, err
 			}
 		}
+		roundStart := time.Now()
 		ev, err := resolve(ctx, b, solver, inner)
+		// Record per-round phases for the first rounds only: a
+		// slowly-converging instance would otherwise bloat the trace tree
+		// with thousands of children.
+		if span != nil && iter < maxTracedRounds {
+			span.Record(fmt.Sprintf("round.%d", iter+1), roundStart, time.Since(roundStart))
+		}
 		if err != nil {
 			return result, err
 		}
@@ -122,13 +150,14 @@ func KIterCtx(ctx context.Context, g *csdf.Graph, opt Options) (*KIterResult, er
 
 		tasks := criticalTasks(ev)
 		result.Trace = append(result.Trace, IterStep{
-			K:             append([]int64(nil), K...),
-			Period:        ev.res.Ratio,
-			CriticalTasks: tasks,
-			Nodes:         ev.b.mg.NumNodes(),
-			Arcs:          ev.b.mg.NumArcs(),
-			ArcsBuilt:     ev.b.stats.arcsBuilt,
-			ArcsReused:    ev.b.stats.arcsReused,
+			K:                append([]int64(nil), K...),
+			Period:           ev.res.Ratio,
+			CriticalTasks:    tasks,
+			Nodes:            ev.b.mg.NumNodes(),
+			Arcs:             ev.b.mg.NumArcs(),
+			ArcsBuilt:        ev.b.stats.arcsBuilt,
+			ArcsReused:       ev.b.stats.arcsReused,
+			HowardIterations: ev.res.Iterations,
 		})
 		if !optimalityTest(tasks, q, K) {
 			updateK(K, tasks, q, opt)

@@ -106,6 +106,9 @@ type Evaluation struct {
 	Certified bool
 	// Nodes and Arcs give the bi-valued graph size.
 	Nodes, Arcs int
+	// HowardIterations counts the policy-improvement rounds the MCRP solver
+	// took on the final bi-valued graph.
+	HowardIterations int
 }
 
 // TaskPeriod returns µt = Ω·Kt/qt, the steady-state period of task t in

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"kiter/internal/rat"
+	"kiter/internal/telemetry"
 )
 
 // Options tunes Solve.
@@ -84,7 +85,10 @@ func (s *Solver) Solve(g *Graph, opt Options) (Result, error) {
 }
 
 // SolveCtx resolves the MCRP on g with cancellation, reusing the solver's
-// scratch state.
+// scratch state. When the context carries a trace span, the Howard
+// iteration count and problem size accumulate onto it — the per-solve
+// detail a flame graph needs to tell "many cheap policy rounds" from "few
+// expensive ones".
 func (s *Solver) SolveCtx(ctx context.Context, g *Graph, opt Options) (Result, error) {
 	if !s.trim(g) {
 		return Result{}, ErrNoCycle
@@ -92,6 +96,11 @@ func (s *Solver) SolveCtx(ctx context.Context, g *Graph, opt Options) (Result, e
 	res, err := s.howard(ctx, g, opt)
 	if err != nil {
 		return Result{}, err
+	}
+	if span := telemetry.FromContext(ctx); span != nil {
+		span.AddInt("howardIterations", int64(res.Iterations))
+		span.SetAttr("mcrNodes", int64(g.NumNodes()))
+		span.SetAttr("mcrArcs", int64(g.NumArcs()))
 	}
 	if opt.SkipCertify {
 		return res, nil

@@ -1,0 +1,102 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersGaugesVecs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs")
+	c.Add(3)
+	c.Inc()
+	cv := r.CounterVec("wins_total", "wins", "method")
+	cv.With("kiter").Add(2)
+	cv.With("symbolic").Inc()
+	r.Gauge("pending", "pending jobs", func() float64 { return 7 })
+	hv := r.HistogramVec("solve_seconds", "solve", []float64{1, 2}, "method")
+	hv.With("kiter").Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP jobs_total jobs",
+		"# TYPE jobs_total counter",
+		"jobs_total 4",
+		`wins_total{method="kiter"} 2`,
+		`wins_total{method="symbolic"} 1`,
+		"# TYPE pending gauge",
+		"pending 7",
+		`solve_seconds_bucket{method="kiter",le="1"} 1`,
+		`solve_seconds_count{method="kiter"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryCollector(t *testing.T) {
+	r := NewRegistry()
+	r.Collect(func(x *ExpoWriter) {
+		x.Family("stats_hits_total", "counter", "hits")
+		x.Sample("stats_hits_total", 42, "tier", `dis"k\`)
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if want := `stats_hits_total{tier="dis\"k\\"} 42`; !strings.Contains(sb.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, sb.String())
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	r.Counter("dup", "")
+}
+
+// TestNilRegistry drives every instrument from a nil registry: the whole
+// chain must be a silent no-op — this is the disabled-telemetry fast path
+// the engine and solvers rely on.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "").Inc()
+	r.CounterVec("b", "", "l").With("x").Add(5)
+	r.Gauge("c", "", func() float64 { return 1 })
+	r.Histogram("d", "", nil).Observe(1)
+	r.HistogramVec("e", "", nil, "l").With("x").Observe(1)
+	r.Collect(func(*ExpoWriter) { t.Error("collector must not run") })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecConcurrentWith(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("n_total", "", "k")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cv.With("same").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cv.With("same").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+}

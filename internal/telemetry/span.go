@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one node of a per-job trace tree: a named phase with a start
+// time, a duration once ended, key/value attributes and child spans.
+// Spans are safe for concurrent use (race contestants attach children to
+// the same parent from separate goroutines) and safe on a nil receiver, so
+// instrumentation points run unconditionally and cost a nil check when
+// tracing is off.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	val any
+}
+
+// NewTrace starts a root span — the per-request entry point; everything
+// below it attaches through contexts via StartSpan.
+func NewTrace(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying s as the active span. A nil s
+// returns ctx unchanged, so tracing stays a no-op when disabled.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// FromContext returns the active span, or nil when ctx carries none.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// StartSpan begins a child of ctx's active span and returns a context
+// carrying it. When ctx has no active span (tracing off) both returns pass
+// through: the original ctx and a nil span whose End is a no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// End closes the span, fixing its duration. Safe to call more than once;
+// only the first End counts.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+}
+
+// SetAttr sets a key/value attribute, replacing an existing key.
+func (s *Span) SetAttr(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].val = val
+			return
+		}
+	}
+	s.attrs = append(s.attrs, attr{key: key, val: val})
+}
+
+// AddInt accumulates n into an integer attribute, creating it at n — the
+// shape solver loops need (arcs built per round, Howard iterations per
+// solve) without read-modify-write at every site.
+func (s *Span) AddInt(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			if v, ok := s.attrs[i].val.(int64); ok {
+				s.attrs[i].val = v + n
+				return
+			}
+		}
+	}
+	s.attrs = append(s.attrs, attr{key: key, val: n})
+}
+
+// Record attaches an already-measured phase as a completed child span —
+// for phases whose start and end are observed in different goroutines
+// (queue wait: enqueue vs. worker dequeue) where threading a live span
+// through would be noise.
+func (s *Span) Record(name string, start time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	child := &Span{name: name, start: start, dur: d, ended: true}
+	s.mu.Lock()
+	s.children = append(s.children, child)
+	s.mu.Unlock()
+}
+
+// SpanNode is the exported JSON form of a span tree, as returned by
+// POST /analyze?trace=1 and appended to the -trace-log NDJSON stream.
+type SpanNode struct {
+	Name          string         `json:"name"`
+	StartUnixNano int64          `json:"startUnixNano"`
+	DurMS         float64        `json:"durMs"`
+	Attrs         map[string]any `json:"attrs,omitempty"`
+	Children      []*SpanNode    `json:"spans,omitempty"`
+}
+
+// Snapshot renders the span tree rooted at s. Unended spans (a cancelled
+// contestant still winding down) report the duration so far.
+func (s *Span) Snapshot() *SpanNode {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	n := &SpanNode{
+		Name:          s.name,
+		StartUnixNano: s.start.UnixNano(),
+		DurMS:         float64(s.dur) / float64(time.Millisecond),
+	}
+	if !s.ended {
+		n.DurMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			n.Attrs[a.key] = a.val
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		n.Children = append(n.Children, c.Snapshot())
+	}
+	return n
+}

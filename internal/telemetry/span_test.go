@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeThroughContext(t *testing.T) {
+	root := NewTrace("analyze")
+	ctx := ContextWithSpan(context.Background(), root)
+	if FromContext(ctx) != root {
+		t.Fatal("FromContext lost the root")
+	}
+	cctx, child := StartSpan(ctx, "solve")
+	if child == nil || FromContext(cctx) != child {
+		t.Fatal("StartSpan did not activate the child")
+	}
+	_, grand := StartSpan(cctx, "howard")
+	grand.AddInt("iterations", 3)
+	grand.AddInt("iterations", 4)
+	grand.SetAttr("method", "kiter")
+	grand.End()
+	child.End()
+	root.Record("queue.wait", time.Now().Add(-time.Millisecond), time.Millisecond)
+	root.End()
+
+	n := root.Snapshot()
+	if n.Name != "analyze" || len(n.Children) != 2 {
+		t.Fatalf("unexpected tree: %+v", n)
+	}
+	solve := n.Children[0]
+	if solve.Name != "solve" || len(solve.Children) != 1 {
+		t.Fatalf("unexpected solve node: %+v", solve)
+	}
+	howard := solve.Children[0]
+	if howard.Attrs["iterations"] != int64(7) {
+		t.Errorf("AddInt accumulation = %v, want 7", howard.Attrs["iterations"])
+	}
+	if howard.Attrs["method"] != "kiter" {
+		t.Errorf("SetAttr = %v", howard.Attrs["method"])
+	}
+	if n.Children[1].Name != "queue.wait" || n.Children[1].DurMS <= 0 {
+		t.Errorf("Record child wrong: %+v", n.Children[1])
+	}
+	// Child phases must fit inside the root's wall time.
+	if solve.DurMS > n.DurMS {
+		t.Errorf("child duration %g exceeds root %g", solve.DurMS, n.DurMS)
+	}
+}
+
+func TestSpanNoopWithoutTrace(t *testing.T) {
+	ctx := context.Background()
+	out, s := StartSpan(ctx, "x")
+	if s != nil || out != ctx {
+		t.Fatal("StartSpan must pass through when tracing is off")
+	}
+	s.End()
+	s.SetAttr("k", 1)
+	s.AddInt("k", 1)
+	s.Record("r", time.Now(), 0)
+	if s.Snapshot() != nil {
+		t.Error("nil span snapshot must be nil")
+	}
+	if ContextWithSpan(ctx, nil) != ctx {
+		t.Error("ContextWithSpan(nil) must return ctx unchanged")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	root := NewTrace("race")
+	ctx := ContextWithSpan(context.Background(), root)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "contestant")
+			s.AddInt("n", 1)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(root.Snapshot().Children); got != 16 {
+		t.Fatalf("children = %d, want 16", got)
+	}
+}
+
+func TestSnapshotOfUnendedSpan(t *testing.T) {
+	s := NewTrace("open")
+	time.Sleep(time.Millisecond)
+	if n := s.Snapshot(); n.DurMS <= 0 {
+		t.Error("unended span must report elapsed time so far")
+	}
+}
+
+func TestTraceLogAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.ndjson")
+	tl, err := OpenTraceLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := NewTrace("analyze")
+	root.End()
+	for i := 0; i < 3; i++ {
+		if err := tl.Append(TraceRecord{RequestID: "req-1", Endpoint: "/analyze", Trace: root.Snapshot()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	var rec TraceRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.RequestID != "req-1" || rec.Trace == nil || rec.Trace.Name != "analyze" {
+		t.Fatalf("bad record: %+v", rec)
+	}
+	// nil log swallows appends.
+	var nilLog *TraceLog
+	if err := nilLog.Append(TraceRecord{}); err != nil {
+		t.Error("nil TraceLog.Append must be a no-op")
+	}
+	if err := nilLog.Close(); err != nil {
+		t.Error("nil TraceLog.Close must be a no-op")
+	}
+}

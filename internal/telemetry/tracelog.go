@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// TraceRecord is one NDJSON line of a trace log: a request's span tree
+// tagged with the ID the server assigned, so offline tooling (flame-graph
+// assembly, per-request drill-down) can correlate lines with access logs.
+type TraceRecord struct {
+	RequestID string    `json:"requestId"`
+	Endpoint  string    `json:"endpoint,omitempty"`
+	Trace     *SpanNode `json:"trace"`
+}
+
+// TraceLog appends span trees to an NDJSON file, one record per line.
+// Appends are serialized and written with a single Write each, so
+// concurrent requests never interleave partial lines. A nil *TraceLog
+// swallows appends, mirroring the rest of the package's nil tolerance.
+type TraceLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenTraceLog opens (creating or appending to) the NDJSON trace log at
+// path.
+func OpenTraceLog(path string) (*TraceLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceLog{f: f}, nil
+}
+
+// Append writes one record as a single NDJSON line.
+func (t *TraceLog) Append(rec TraceRecord) error {
+	if t == nil {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err = t.f.Write(append(line, '\n'))
+	return err
+}
+
+// Close closes the underlying file.
+func (t *TraceLog) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.f.Close()
+}
