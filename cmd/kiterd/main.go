@@ -65,12 +65,26 @@
 //
 //	kiterd -addr 127.0.0.1:9101 -peers 127.0.0.1:9102,127.0.0.1:9103
 //
+// HTTP mode drains on SIGTERM/SIGINT: readiness flips to 503 and new
+// submissions are refused (503 + Retry-After) while in-flight requests —
+// streaming sweeps included — get -drain-timeout to finish; then the disk
+// cache is flushed, the final -stats-out snapshot is written, and the
+// process exits 0. Under load, requests whose predicted queue wait
+// already exceeds their -timeout budget are shed up front with 429 and
+// the predicted wait in Retry-After. Per-peer circuit breakers with one
+// retried forward cover peer failures; -chaos (or KITER_CHAOS) arms
+// fault-injection points for drills (see the README's Operations
+// section):
+//
+//	kiterd -drain-timeout 30s -chaos 'cache.get:error::3,solver.entry:latency:50ms'
+//
 // Usage:
 //
 //	kiterd [-addr :8080] [-workers N] [-cache N] [-method race]
 //	       [-cache-dir dir] [-cache-disk-bytes N] [-capacities]
 //	       [-peers host:port,…] [-self host:port] [-forward-timeout 0]
 //	       [-analyses throughput] [-timeout 60s] [-stats-out stats.json]
+//	       [-drain-timeout 30s] [-chaos spec]
 //	       [-batch dir-or-manifest] [-sweep spec.json]
 package main
 
@@ -78,17 +92,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"kiter/internal/cachedisk"
 	"kiter/internal/cluster"
 	"kiter/internal/engine"
+	"kiter/internal/faultinject"
 	"kiter/internal/gen"
 	"kiter/internal/kperiodic"
+	"kiter/internal/resilience"
 	"kiter/internal/symbexec"
 	"kiter/internal/telemetry"
 )
@@ -111,7 +127,7 @@ func run() error {
 		shards         = flag.Int("cache-shards", 16, "result cache shard count")
 		cacheDir       = flag.String("cache-dir", "", "directory for a disk result-cache tier under the in-memory one; restarts with the same directory warm-start from prior results (empty = memory only)")
 		cacheDiskBytes = flag.Int64("cache-disk-bytes", 256<<20, "disk cache byte quota for -cache-dir; over it the oldest segments are compacted away in the background")
-		statsOut       = flag.String("stats-out", "", "batch/sweep modes: write the final engine stats snapshot as JSON to this file on exit")
+		statsOut       = flag.String("stats-out", "", "write the final engine stats snapshot as JSON to this file on exit (all modes, including HTTP after a drain)")
 		maxPending     = flag.Int("max-pending", 0, "max in-flight jobs before shedding load (0 = 16×(workers+1))")
 		method         = flag.String("method", "race", "throughput method: race | kiter | periodic | expansion | symbolic")
 		analyses       = flag.String("analyses", "throughput", "comma-separated analyses: throughput,schedule,sizing,symbolic")
@@ -132,6 +148,8 @@ func run() error {
 		forwardTimeout = flag.Duration("forward-timeout", 0, "per-job cluster forward budget before local fallback (0 = -timeout)")
 		traceLogPath   = flag.String("trace-log", "", "append every /analyze request's span tree as one NDJSON line to this file")
 		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "HTTP mode: budget for in-flight requests to finish after SIGTERM/SIGINT before connections are cut")
+		chaos          = flag.String("chaos", "", "fault-injection spec, e.g. cache.get:error::3,solver.entry:latency:50ms (default: $KITER_CHAOS; empty disables)")
 		version        = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
@@ -139,6 +157,19 @@ func run() error {
 	if *version {
 		printVersion(os.Stdout, readBuildInfo())
 		return nil
+	}
+
+	chaosSpec := *chaos
+	if chaosSpec == "" {
+		chaosSpec = os.Getenv("KITER_CHAOS")
+	}
+	if set, err := faultinject.Parse(chaosSpec); err != nil {
+		return fmt.Errorf("parsing -chaos: %w", err)
+	} else if set != nil {
+		faultinject.Activate(set)
+		points := faultinject.Points()
+		sort.Strings(points)
+		fmt.Fprintf(os.Stderr, "kiterd: chaos armed at %s\n", strings.Join(points, ", "))
 	}
 
 	// One registry serves the whole process: the engine and cluster register
@@ -176,6 +207,15 @@ func run() error {
 	build := readBuildInfo()
 	registerEngineCollector(reg, e)
 	registerBuildInfo(reg, build)
+	// Admission control predicts queue waits from the engine's own
+	// queue-wait histogram and sheds doomed requests before they occupy a
+	// pending slot (HTTP 429; see server.admit for the full ladder).
+	adm := resilience.NewAdmission(resilience.Estimator{
+		QuantileWait: e.QueueWaitQuantile,
+		Pending:      e.PendingJobs,
+		Workers:      e.WorkerCount(),
+	})
+	registerAdmissionCollector(reg, adm)
 	if *statsOut != "" {
 		// Registered after e.Close's defer, so it unwinds before Close:
 		// the snapshot sees the live engine and cache tiers.
@@ -241,23 +281,12 @@ func run() error {
 			}
 			defer traceLog.Close()
 		}
-		if *pprofAddr != "" {
-			// pprof lives on its own listener so profiling endpoints are
-			// never reachable through the serving address.
-			go func() {
-				if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil {
-					fmt.Fprintln(os.Stderr, "kiterd: pprof listener:", err)
-				}
-			}()
-			fmt.Printf("kiterd: pprof on %s\n", *pprofAddr)
-		}
 		srv := newServer(e, tmpl, cl, observability{reg: reg, traceLog: traceLog, build: build})
+		srv.admission = adm
 		if cl != nil {
 			fmt.Printf("kiterd: clustered as %s (peers: %s)\n", cl.Self(), *peers)
 		}
-		fmt.Printf("kiterd: listening on %s (%d workers)\n", *addr, e.Stats().Workers)
-		srv.markReady()
-		return http.ListenAndServe(*addr, srv)
+		return serveHTTP(srv, *addr, *pprofAddr, *drainTimeout)
 	}
 }
 

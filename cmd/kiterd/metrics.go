@@ -2,6 +2,7 @@ package main
 
 import (
 	"kiter/internal/engine"
+	"kiter/internal/resilience"
 	"kiter/internal/telemetry"
 )
 
@@ -48,6 +49,7 @@ func registerEngineCollector(reg *telemetry.Registry, e *engine.Engine) {
 		counter("kiter_engine_errors_total", "Failed evaluations.", s.Errors)
 		counter("kiter_engine_cancelled_total", "Abandoned evaluations.", s.Cancelled)
 		counter("kiter_engine_rejected_total", "Submissions shed under overload.", s.Rejected)
+		counter("kiter_panics_total", "Solver panics recovered into job errors (also counted under errors).", s.Panics)
 		counter("kiter_race_extra_slots_total", "Evaluation slots borrowed for extra race contestants.", s.RaceExtraSlots)
 		counter("kiter_race_starved_total", "Races that found fewer free slots than contestants.", s.RaceStarved)
 
@@ -113,6 +115,47 @@ func registerEngineCollector(reg *telemetry.Registry, e *engine.Engine) {
 			for _, p := range s.Cluster {
 				x.Sample("kiter_cluster_probes_total", float64(p.Probes), "peer", p.Peer)
 			}
+			x.Family("kiter_cluster_retried_total", "counter", "Forward attempts retried after a first failure.")
+			for _, p := range s.Cluster {
+				x.Sample("kiter_cluster_retried_total", float64(p.Retried), "peer", p.Peer)
+			}
+			x.Family("kiter_cluster_breaker_state", "gauge",
+				"Peer circuit-breaker state: 0 closed, 1 half-open, 2 open.")
+			for _, p := range s.Cluster {
+				x.Sample("kiter_cluster_breaker_state", breakerStateValue(p.BreakerState), "peer", p.Peer)
+			}
+			x.Family("kiter_cluster_breaker_opens_total", "counter", "Times the peer's circuit breaker opened.")
+			for _, p := range s.Cluster {
+				x.Sample("kiter_cluster_breaker_opens_total", float64(p.BreakerOpens), "peer", p.Peer)
+			}
 		}
+	})
+}
+
+// breakerStateValue maps the wire state names onto the gauge encoding.
+func breakerStateValue(state string) float64 {
+	switch state {
+	case "half-open":
+		return 1
+	case "open":
+		return 2
+	}
+	return 0
+}
+
+// registerAdmissionCollector exposes the admission controller's shed
+// counter and live wait estimate at scrape time.
+func registerAdmissionCollector(reg *telemetry.Registry, adm *resilience.Admission) {
+	if reg == nil || adm == nil {
+		return
+	}
+	reg.Collect(func(x *telemetry.ExpoWriter) {
+		st := adm.Stats()
+		x.Family("kiter_admission_shed_total", "counter",
+			"Requests refused up front because their estimated queue wait exceeded the request budget.")
+		x.Sample("kiter_admission_shed_total", float64(st.Shed))
+		x.Family("kiter_admission_estimated_wait_seconds", "gauge",
+			"Predicted queue wait for a job submitted now, in seconds.")
+		x.Sample("kiter_admission_estimated_wait_seconds", st.EstimatedWaitMS/1000)
 	})
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// serveHTTP runs the HTTP front-end until a fatal listener error or a
+// termination signal, then drains. Binding happens synchronously here —
+// before markReady — so a bad -addr or -pprof-addr returns an error
+// through run()'s defers (cache backend flushed and closed, -stats-out
+// written) instead of exiting from a goroutine with cleanup skipped.
+//
+// On SIGTERM/SIGINT the shutdown sequence is:
+//
+//  1. startDrain: readiness flips to 503 and /analyze, /sweep and
+//     /cluster/evaluate refuse new submissions (Retry-After set), while
+//     requests already admitted — including streaming sweeps — continue.
+//  2. A short grace pause (drainTimeout/4, at most 1s) lets load
+//     balancers observe the failing readiness probe before the listener
+//     stops accepting.
+//  3. http.Server.Shutdown waits for in-flight requests under the
+//     remaining -drain-timeout budget; past it, connections are cut.
+//
+// Returning nil then unwinds run()'s defers in LIFO order: the final
+// stats snapshot is written, the engine closes (flushing the cache
+// backend), the cluster prober stops — and the process exits 0.
+func serveHTTP(srv *server, addr, pprofAddr string, drainTimeout time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	hs := &http.Server{
+		Handler: srv,
+		// Header and full-request reads are bounded so an idle or trickling
+		// client cannot pin a connection open indefinitely. WriteTimeout
+		// stays 0 on purpose: /sweep streams NDJSON for as long as the
+		// scenario family takes, bounded per scenario by -timeout instead.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	var pprofSrv *http.Server
+	if pprofAddr != "" {
+		// pprof lives on its own listener so profiling endpoints are never
+		// reachable through the serving address. Its bind failure is fatal
+		// like the main one: silently serving without requested profiling
+		// would hide the misconfiguration.
+		pln, perr := net.Listen("tcp", pprofAddr)
+		if perr != nil {
+			ln.Close()
+			return fmt.Errorf("pprof listener: %w", perr)
+		}
+		pprofSrv = &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := pprofSrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "kiterd: pprof listener:", err)
+			}
+		}()
+		defer pprofSrv.Close()
+		fmt.Printf("kiterd: pprof on %s\n", pln.Addr())
+	}
+	fmt.Printf("kiterd: listening on %s (%d workers)\n", ln.Addr(), srv.e.Stats().Workers)
+	srv.markReady()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	var sig os.Signal
+	select {
+	case err := <-serveErr:
+		// Serve only returns on listener failure (it never returns nil);
+		// surface it through run() so cleanup still happens.
+		return fmt.Errorf("serving on %s: %w", addr, err)
+	case sig = <-sigCh:
+	}
+	fmt.Fprintf(os.Stderr, "kiterd: %s received, draining (budget %s)\n", sig, drainTimeout)
+
+	srv.startDrain()
+	if grace := min(drainTimeout/4, time.Second); grace > 0 {
+		time.Sleep(grace)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "kiterd: drain budget exceeded, cutting connections:", err)
+		hs.Close()
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(os.Stderr, "kiterd: drained")
+	return nil
+}

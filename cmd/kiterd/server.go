@@ -14,6 +14,7 @@ import (
 
 	"kiter/internal/cluster"
 	"kiter/internal/engine"
+	"kiter/internal/resilience"
 	"kiter/internal/sdf3x"
 	"kiter/internal/telemetry"
 )
@@ -50,6 +51,15 @@ type server struct {
 	// peers probe it to decide ring membership, and a replica that is alive
 	// but still warming up must answer those.
 	ready atomic.Bool
+	// draining flips on SIGTERM: readiness goes 503 and work-accepting
+	// endpoints refuse new submissions while in-flight requests (including
+	// streaming sweeps) run to completion under the drain budget.
+	draining atomic.Bool
+	// admission, when non-nil, sheds requests whose estimated queue wait
+	// already exceeds their deadline budget (429 before they occupy a
+	// pending slot). Nil admits everything — the engine's hard MaxPending
+	// cliff is then the only shedding.
+	admission *resilience.Admission
 	// reqSeq numbers traced requests for the trace log.
 	reqSeq atomic.Uint64
 }
@@ -75,7 +85,18 @@ func newServer(e *engine.Engine, tmpl requestTemplate, cl *cluster.Cluster, obs 
 		s.mux.HandleFunc("/metrics", s.handleMetrics)
 	}
 	if cl != nil {
-		s.mux.Handle("/cluster/evaluate", cl.EvaluateHandler(e, tmpl.Timeout))
+		eh := cl.EvaluateHandler(e, tmpl.Timeout)
+		s.mux.HandleFunc("/cluster/evaluate", func(w http.ResponseWriter, r *http.Request) {
+			// A draining replica refuses forwarded work too: the sending
+			// peer's dispatcher falls back to local evaluation, which is
+			// exactly where the work must land once this process exits.
+			if s.draining.Load() {
+				w.Header().Set("Retry-After", "1")
+				httpError(w, http.StatusServiceUnavailable, "draining")
+				return
+			}
+			eh.ServeHTTP(w, r)
+		})
 	}
 	return s
 }
@@ -83,6 +104,50 @@ func newServer(e *engine.Engine, tmpl requestTemplate, cl *cluster.Cluster, obs 
 // markReady flips the readiness probe to 200. Called once construction is
 // complete, immediately before the listener starts accepting.
 func (s *server) markReady() { s.ready.Store(true) }
+
+// startDrain rejects new work while in-flight requests finish: readiness
+// goes 503 (load balancers stop routing here), /analyze, /sweep and
+// /cluster/evaluate refuse new submissions. Liveness stays 200 — the
+// process is still up, deliberately finishing its queue.
+func (s *server) startDrain() { s.draining.Store(true) }
+
+// admit applies the server's load-control ladder to one work-accepting
+// request, writing the refusal itself when the request must not start.
+// The contract, from soft to hard:
+//
+//	429 Too Many Requests — admission control: the estimated queue wait
+//	    already exceeds the request's deadline budget, so queueing it
+//	    would only burn a pending slot to time out. Retry-After carries
+//	    the wait estimate; the request was never submitted.
+//	503 Service Unavailable — the hard cliffs: the engine's MaxPending
+//	    limit (ErrOverloaded), engine shutdown (ErrClosed), or a draining
+//	    process. Retry-After is a floor, not an estimate.
+//
+// Both are retryable by design; only 429 scales its hint with load.
+func (s *server) admit(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	if est, shed := s.admission.Check(s.tmpl.Timeout); shed {
+		w.Header().Set("Retry-After", retryAfter(est))
+		httpError(w, http.StatusTooManyRequests,
+			"estimated queue wait %s exceeds the %s request budget", est.Round(time.Millisecond), s.tmpl.Timeout)
+		return false
+	}
+	return true
+}
+
+// retryAfter renders a wait estimate as a Retry-After value: whole
+// seconds, rounded up, at least 1.
+func retryAfter(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
 
 // endpointLabel normalizes a request path onto the server's fixed endpoint
 // set so the request histogram's label cardinality is bounded by the API
@@ -171,6 +236,9 @@ func traceRequested(r *http.Request) bool {
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.admit(w) {
 		return
 	}
 	body, ok := s.readBody(w, r)
@@ -265,8 +333,12 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		finishTrace("error")
 		switch {
 		case errors.Is(err, engine.ErrOverloaded):
+			// The hard MaxPending cliff: unlike an admission shed the job
+			// was attempted, but the retry hint is the same wait estimate.
+			w.Header().Set("Retry-After", retryAfter(s.admission.EstimateWait()))
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, engine.ErrClosed):
+			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, context.DeadlineExceeded):
 			httpError(w, http.StatusGatewayTimeout, "analysis timed out")
@@ -308,6 +380,12 @@ func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 // accepting — the probe a load balancer should gate traffic on.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("ready"); v != "" && v != "0" {
+		if s.draining.Load() {
+			// Draining flips readiness first so load balancers stop routing
+			// new traffic here while in-flight requests finish.
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			return
+		}
 		if !s.ready.Load() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
 			return
@@ -328,11 +406,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // build block, so a fleet scrape can tell replica versions apart.
 type statsResponse struct {
 	engine.Stats
-	Build buildInfo `json:"build"`
+	Build     buildInfo                  `json:"build"`
+	Admission *resilience.AdmissionStats `json:"admission,omitempty"`
+	Draining  bool                       `json:"draining,omitempty"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{Stats: s.e.Stats(), Build: s.obs.build})
+	resp := statsResponse{Stats: s.e.Stats(), Build: s.obs.build, Draining: s.draining.Load()}
+	if s.admission != nil {
+		st := s.admission.Stats()
+		resp.Admission = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

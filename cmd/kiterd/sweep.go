@@ -26,6 +26,11 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	// Same admission/drain ladder as /analyze (429 shed, 503 draining);
+	// a sweep admitted before the drain signal streams to completion.
+	if !s.admit(w) {
+		return
+	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return

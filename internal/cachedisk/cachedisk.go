@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 
 	"kiter/internal/engine"
+	"kiter/internal/faultinject"
 )
 
 // Segment file layout: an 8-byte header (magic "KITC" + little-endian
@@ -289,6 +290,12 @@ func (s *Store) rotateLocked() error {
 // compaction closes a segment's handle only after de-indexing it — a
 // racing eviction surfaces here as a read error, i.e. a miss.
 func (s *Store) Get(key string) (*engine.Result, bool) {
+	// Chaos seam: an injected "cache.get" fault degrades to a miss, the
+	// same path a corrupt or evicted record takes.
+	if faultinject.Fire(faultinject.PointCacheGet) != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -345,6 +352,11 @@ func (s *Store) drop(key string, ref recordRef) (*engine.Result, bool) {
 // swallowed: the entry simply isn't cached.
 func (s *Store) Put(key string, res *engine.Result) {
 	if key == "" || len(key) > maxKeyLen || res == nil {
+		return
+	}
+	// Chaos seam: an injected "cache.put" fault drops the write, exactly
+	// like a failed append (the entry simply isn't cached).
+	if faultinject.Fire(faultinject.PointCachePut) != nil {
 		return
 	}
 	payload, err := json.Marshal(res)

@@ -1,0 +1,111 @@
+package cachedisk
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kiter/internal/faultinject"
+)
+
+// TestCloseDuringCompaction races Store.Close against the background
+// compactor while writers keep the store over quota. Close must win
+// cleanly — no panic, no deadlock, no use of a closed segment handle —
+// and the directory must reopen afterwards. This is the shutdown path a
+// drained kiterd takes while a compaction pass is mid-flight.
+func TestCloseDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// A quota small enough that every few Puts trip rotation + compaction.
+	s := mustOpen(t, dir, Options{MaxBytes: 8 << 10, SegmentBytes: 2 << 10})
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Put(fmt.Sprintf("w%d-k%d", w, i), testResult(fmt.Sprintf("fp-%d-%d", w, i)))
+			}
+		}(w)
+	}
+
+	// Let the writers push the store past quota a few times so the
+	// compactor is genuinely running when Close lands.
+	deadline := time.Now().Add(time.Second)
+	for s.Bytes() < 8<<10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- s.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked against compaction")
+	}
+	close(stop)
+	writers.Wait()
+
+	// Post-Close operations are no-op misses, never panics.
+	s.Put("late", testResult("late"))
+	if _, ok := s.Get("late"); ok {
+		t.Fatal("Get after Close returned a hit")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	// The directory survived the race in a loadable state.
+	s2 := mustOpen(t, dir, Options{MaxBytes: 8 << 10, SegmentBytes: 2 << 10})
+	defer s2.Close()
+	s2.Put("reopened", testResult("reopened"))
+	if _, ok := s2.Get("reopened"); !ok {
+		t.Fatal("reopened store does not serve writes")
+	}
+}
+
+// TestFaultInjectionDegradesToMiss: armed cache failpoints turn Gets into
+// counted misses and swallow Puts — the degrade-to-miss contract chaos
+// runs rely on — and disarming restores normal service.
+func TestFaultInjectionDegradesToMiss(t *testing.T) {
+	arm := func(spec string) {
+		t.Helper()
+		set, err := faultinject.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faultinject.Activate(set)
+	}
+	defer faultinject.Activate(nil)
+
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+
+	arm("cache.put:error::1")
+	s.Put("k", testResult("fp")) // injected: dropped
+	if _, ok := s.Get("k"); ok { // clean Get proves the drop
+		t.Fatal("injected Put stored a record")
+	}
+	s.Put("k", testResult("fp")) // budget burned: stored
+	arm("cache.get:error::1")
+	if _, ok := s.Get("k"); ok { // injected: forced miss
+		t.Fatal("injected Get returned a hit")
+	}
+	misses := s.misses.Load()
+	if misses < 2 {
+		t.Fatalf("misses = %d, want >= 2 (injected faults count as misses)", misses)
+	}
+	if res, ok := s.Get("k"); !ok || res.Fingerprint != "fp" {
+		t.Fatalf("post-budget Get = %v, %v; want stored result", res, ok)
+	}
+}

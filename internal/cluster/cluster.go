@@ -6,11 +6,16 @@
 // cache deduplicate identical work submitted anywhere in the fleet.
 //
 // The subsystem degrades to a single replica gracefully: a forward that
-// fails or times out falls back to transparent local evaluation, the
-// failing peer is marked unhealthy (its keys spill to ring successors) and
-// re-probed with exponential backoff until it answers /healthz again.
-// Routing is capped at one hop — forwarded arrivals are pinned local — so
-// diverging health views can cost locality, never loops.
+// fails or times out is retried once after a jittered backoff (forwarded
+// evaluations are pure analysis, so a double send is idempotent) and then
+// falls back to transparent local evaluation. Each peer sits behind a
+// circuit breaker: consecutive forward failures past a threshold open it,
+// dropping the peer out of the ring (its keys spill to ring successors);
+// the health prober re-probes open breakers with exponential backoff and a
+// passing /healthz half-opens the peer, letting one trial forward decide
+// between closing the breaker and re-opening it. Routing is capped at one
+// hop — forwarded arrivals are pinned local — so diverging health views
+// can cost locality, never loops.
 package cluster
 
 import (
@@ -18,6 +23,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -25,6 +31,8 @@ import (
 	"time"
 
 	"kiter/internal/engine"
+	"kiter/internal/faultinject"
+	"kiter/internal/resilience"
 	"kiter/internal/telemetry"
 )
 
@@ -53,6 +61,14 @@ type Config struct {
 	ProbeInterval    time.Duration
 	MaxProbeInterval time.Duration
 	ProbeTimeout     time.Duration
+	// BreakerThreshold is the consecutive forward failures that open a
+	// peer's circuit breaker, dropping it out of the ring until a probe
+	// half-opens it again (default 3, minimum 1).
+	BreakerThreshold int
+	// RetryBackoff is the base delay before a failed forward's single
+	// retry; the actual sleep is jittered to [base/2, 3*base/2) so
+	// synchronized failures do not retry in lockstep (default 25ms).
+	RetryBackoff time.Duration
 	// Client overrides the forwarding HTTP client (tests).
 	Client *http.Client
 	// Metrics, when non-nil, registers the cluster's forward-RTT histogram
@@ -73,21 +89,29 @@ func (cfg Config) withDefaults() Config {
 	if cfg.ProbeTimeout <= 0 {
 		cfg.ProbeTimeout = 2 * time.Second
 	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{}
 	}
 	return cfg
 }
 
-// peerState is one peer's health and telemetry.
+// peerState is one peer's health and telemetry. Health is the breaker's
+// state: closed and half-open peers are in the ring, open peers are not.
 type peerState struct {
 	addr    string
-	healthy atomic.Bool
+	breaker *resilience.Breaker
 
 	forwarded  atomic.Uint64
 	failedOver atomic.Uint64
 	served     atomic.Uint64
 	probes     atomic.Uint64
+	retried    atomic.Uint64
 
 	// mu guards the probe backoff schedule.
 	mu        sync.Mutex
@@ -151,11 +175,10 @@ func New(cfg Config) (*Cluster, error) {
 		if m == cfg.Self {
 			continue
 		}
-		ps := &peerState{addr: m}
-		// Optimistic start: a down peer costs one failed forward (answered
-		// locally) before probing takes over.
-		ps.healthy.Store(true)
-		c.peers[m] = ps
+		// Breakers start closed (optimistic): a down peer costs a few
+		// failed forwards (answered locally) before its breaker opens and
+		// probing takes over.
+		c.peers[m] = &peerState{addr: m, breaker: resilience.NewBreaker(cfg.BreakerThreshold)}
 	}
 	c.wg.Add(1)
 	go c.probeLoop()
@@ -182,13 +205,14 @@ func (c *Cluster) peer(addr string) *peerState {
 	return c.peers[addr]
 }
 
-// alive is the ring's health filter: self is always alive.
+// alive is the ring's health filter: self is always alive, peers are
+// alive unless their breaker is open (half-open peers take trial traffic).
 func (c *Cluster) alive(member string) bool {
 	if member == c.self {
 		return true
 	}
 	ps, ok := c.peers[member]
-	return ok && ps.healthy.Load()
+	return ok && ps.breaker.State() != resilience.BreakerOpen
 }
 
 // Owner returns the member the ring currently places key on, applying the
@@ -203,9 +227,11 @@ func (c *Cluster) Owner(key string) string {
 // Dispatch implements engine.Dispatcher: jobs the ring places on this
 // replica (or on nobody alive) are declined back to the local pool; jobs
 // owned by a healthy peer are forwarded. A forward that fails for any
-// reason other than the job's own cancellation marks the peer unhealthy
-// and falls back to local evaluation, so a dying owner never fails a job —
-// it only loses the dedup benefit until a probe revives it.
+// reason other than the job's own cancellation counts against the peer's
+// breaker and is retried once after a jittered backoff (evaluations are
+// idempotent); a second failure falls back to local evaluation, so a
+// dying owner never fails a job — it only loses the dedup benefit until a
+// probe half-opens its breaker again.
 func (c *Cluster) Dispatch(ctx context.Context, job *engine.DispatchJob) (*engine.Result, bool, error) {
 	owner := c.Owner(job.Fingerprint)
 	if owner == c.self {
@@ -219,33 +245,81 @@ func (c *Cluster) Dispatch(ctx context.Context, job *engine.DispatchJob) (*engin
 	}
 	fctx, fspan := telemetry.StartSpan(ctx, "cluster.forward")
 	fspan.SetAttr("peer", owner)
-	start := time.Now()
-	res, err := c.forward(fctx, owner, job)
-	outcome := "ok"
-	if err != nil {
-		outcome = "error"
-		fspan.SetAttr("error", err.Error())
-	}
-	fspan.End()
-	c.forwardRTT.With(owner, outcome).Observe(time.Since(start).Seconds())
-	switch {
-	case err == nil:
+	defer fspan.End()
+	res, err := c.attempt(fctx, owner, job)
+	if err == nil {
+		ps.breaker.Success()
 		ps.forwarded.Add(1)
 		return res, true, nil
-	case ctx.Err() != nil:
+	}
+	if ctx.Err() != nil {
 		// Every waiter left (or the submission's own deadline passed)
 		// while the forward was in flight: fail the job with the context
 		// error instead of burning a local slot on unwanted work.
 		return nil, true, ctx.Err()
-	default:
-		ps.failedOver.Add(1)
-		c.markUnhealthy(ps)
-		return nil, false, nil
+	}
+	c.noteForwardFailure(ps)
+	fspan.SetAttr("error", err.Error())
+	// Retry once unless that first failure just opened the breaker (the
+	// peer is systematically down, not transiently flaky).
+	if ps.breaker.Allow() && sleepCtx(ctx, jitter(c.cfg.RetryBackoff)) {
+		ps.retried.Add(1)
+		if res, err = c.attempt(fctx, owner, job); err == nil {
+			ps.breaker.Success()
+			ps.forwarded.Add(1)
+			fspan.SetAttr("retried", true)
+			return res, true, nil
+		}
+		if ctx.Err() != nil {
+			return nil, true, ctx.Err()
+		}
+		c.noteForwardFailure(ps)
+		fspan.SetAttr("error", err.Error())
+	}
+	ps.failedOver.Add(1)
+	return nil, false, nil
+}
+
+// attempt times one forward try into the RTT histogram.
+func (c *Cluster) attempt(ctx context.Context, owner string, job *engine.DispatchJob) (*engine.Result, error) {
+	start := time.Now()
+	res, err := c.forward(ctx, owner, job)
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	c.forwardRTT.With(owner, outcome).Observe(time.Since(start).Seconds())
+	return res, err
+}
+
+// jitter spreads a base delay to [base/2, 3*base/2).
+func jitter(base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	return base/2 + time.Duration(rand.Int63n(int64(base)))
+}
+
+// sleepCtx waits d, reporting false if ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 
 // forward runs one job on owner and decodes its result.
 func (c *Cluster) forward(ctx context.Context, owner string, job *engine.DispatchJob) (*engine.Result, error) {
+	// Chaos seam: "dispatch.forward" fails forward attempts (each retry is
+	// a fresh Fire), exercising the retry and breaker paths without a
+	// network fault.
+	if err := faultinject.Fire(faultinject.PointForward); err != nil {
+		return nil, err
+	}
 	body, err := encodeJob(job)
 	if err != nil {
 		return nil, err
@@ -300,15 +374,30 @@ func firstLine(b []byte) string {
 	return string(bytes.TrimSpace(b))
 }
 
-// markUnhealthy flips a peer out of the ring and schedules its first
-// re-probe one base interval out.
+// markUnhealthy force-opens a peer's breaker — flipping it out of the
+// ring regardless of its failure count — and schedules its first re-probe
+// one base interval out.
 func (c *Cluster) markUnhealthy(ps *peerState) {
+	if ps.breaker.ForceOpen() {
+		c.scheduleProbe(ps)
+	}
+}
+
+// noteForwardFailure counts one failed forward against the peer's
+// breaker; crossing the threshold opens it and hands the peer to the
+// prober.
+func (c *Cluster) noteForwardFailure(ps *peerState) {
+	if ps.breaker.Failure() {
+		c.scheduleProbe(ps)
+	}
+}
+
+// scheduleProbe arms the backoff schedule for a just-opened breaker.
+func (c *Cluster) scheduleProbe(ps *peerState) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	if ps.healthy.Swap(false) {
-		ps.failures = 1
-		ps.nextProbe = time.Now().Add(c.cfg.ProbeInterval)
-	}
+	ps.failures = 1
+	ps.nextProbe = time.Now().Add(c.cfg.ProbeInterval)
 }
 
 // probeLoop re-probes unhealthy peers on their backoff schedule until the
@@ -328,7 +417,9 @@ func (c *Cluster) probeLoop() {
 			return
 		case now := <-t.C:
 			for _, ps := range c.snapshotPeers() {
-				if ps.healthy.Load() {
+				// Only open breakers are probed; a half-open peer is
+				// already taking trial traffic that will settle its state.
+				if ps.breaker.State() != resilience.BreakerOpen {
 					continue
 				}
 				ps.mu.Lock()
@@ -342,8 +433,10 @@ func (c *Cluster) probeLoop() {
 	}
 }
 
-// probe checks one peer's /healthz, reviving it on success and doubling
-// its backoff (up to MaxProbeInterval) on failure.
+// probe checks one peer's /healthz. Success half-opens the breaker — the
+// peer re-enters the ring and the next forward's outcome closes it for
+// real or snaps it back open. Failure doubles the probe backoff (up to
+// MaxProbeInterval).
 func (c *Cluster) probe(ps *peerState) {
 	ps.probes.Add(1)
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
@@ -363,7 +456,7 @@ func (c *Cluster) probe(ps *peerState) {
 	defer ps.mu.Unlock()
 	if err == nil {
 		ps.failures = 0
-		ps.healthy.Store(true)
+		ps.breaker.HalfOpen()
 		return
 	}
 	ps.failures++
@@ -392,13 +485,17 @@ func (c *Cluster) DispatchStats() []engine.PeerStats {
 	sort.Slice(peers, func(a, b int) bool { return peers[a].addr < peers[b].addr })
 	out := make([]engine.PeerStats, 0, len(peers))
 	for _, ps := range peers {
+		st := ps.breaker.State()
 		out = append(out, engine.PeerStats{
-			Peer:       ps.addr,
-			Healthy:    ps.healthy.Load(),
-			Forwarded:  ps.forwarded.Load(),
-			FailedOver: ps.failedOver.Load(),
-			Served:     ps.served.Load(),
-			Probes:     ps.probes.Load(),
+			Peer:         ps.addr,
+			Healthy:      st != resilience.BreakerOpen,
+			Forwarded:    ps.forwarded.Load(),
+			FailedOver:   ps.failedOver.Load(),
+			Served:       ps.served.Load(),
+			Probes:       ps.probes.Load(),
+			Retried:      ps.retried.Load(),
+			BreakerState: st.String(),
+			BreakerOpens: ps.breaker.Opens(),
 		})
 	}
 	return out

@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"context"
+	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +13,7 @@ import (
 
 	"kiter/internal/engine"
 	"kiter/internal/gen"
+	"kiter/internal/resilience"
 )
 
 func TestWireRoundTrip(t *testing.T) {
@@ -92,8 +96,8 @@ func TestProbeRevivesFlappyPeer(t *testing.T) {
 
 	c := newTestCluster(t, "self:1", []string{addr})
 	ps := c.peer(addr)
-	if !ps.healthy.Load() {
-		t.Fatal("peer not optimistic-healthy at start")
+	if st := ps.breaker.State(); st != resilience.BreakerClosed {
+		t.Fatalf("peer breaker %v at start, want closed (optimistic)", st)
 	}
 	c.markUnhealthy(ps)
 	if c.alive(addr) {
@@ -124,6 +128,12 @@ func TestProbeRevivesFlappyPeer(t *testing.T) {
 	if len(stats) != 1 || !stats[0].Healthy || stats[0].Probes == 0 {
 		t.Fatalf("stats after revival: %+v", stats)
 	}
+	// A probe revival is provisional: the peer re-enters the ring
+	// half-open, and only a successful forward closes the breaker.
+	if stats[0].BreakerState != "half-open" || stats[0].BreakerOpens == 0 {
+		t.Fatalf("revived breaker = %q opens=%d, want half-open with an open on record",
+			stats[0].BreakerState, stats[0].BreakerOpens)
+	}
 }
 
 func TestOwnerFallsBackToSelfWhenAllPeersDead(t *testing.T) {
@@ -146,5 +156,103 @@ func TestSelfExcludedFromPeers(t *testing.T) {
 	}
 	if len(c.DispatchStats()) != 1 {
 		t.Fatalf("stats rows = %d, want 1", len(c.DispatchStats()))
+	}
+}
+
+// TestForwardRetryThenBreakerOpens walks one peer through the whole
+// breaker lifecycle via Dispatch: a flaky forward is retried once before
+// failing over, consecutive failures open the breaker (no more retries,
+// peer out of the ring), a passing probe half-opens it, and the next
+// successful forward closes it again.
+func TestForwardRetryThenBreakerOpens(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/cluster/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if failing.Load() {
+			http.Error(w, "injected outage", http.StatusInternalServerError)
+			return
+		}
+		req, err := decodeRequest(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(&engine.Result{Fingerprint: req.Graph.FingerprintHex()})
+	})
+	peer := httptest.NewServer(mux)
+	defer peer.Close()
+	addr := strings.TrimPrefix(peer.URL, "http://")
+
+	c := newTestCluster(t, "self:1", []string{addr})
+	ps := c.peer(addr)
+
+	// A job whose fingerprint the ring places on the peer.
+	g := gen.Figure2()
+	job := &engine.DispatchJob{
+		Graph:       g,
+		Analyses:    []engine.AnalysisKind{engine.AnalysisThroughput},
+		Method:      engine.MethodKIter,
+		Fingerprint: g.FingerprintHex(),
+	}
+	if c.Owner(job.Fingerprint) != addr {
+		// Both members are healthy; if the ring happens to place this
+		// graph on self, dispatch is a no-op and the test proves nothing.
+		t.Skip("ring placed the test fingerprint on self")
+	}
+
+	ctx := context.Background()
+	// Dispatch 1: attempt + retry both fail -> two breaker failures, one
+	// retry, one failover, breaker still closed (threshold 3).
+	if _, handled, err := c.Dispatch(ctx, job); handled || err != nil {
+		t.Fatalf("dispatch 1 = handled %v err %v, want local fallback", handled, err)
+	}
+	if got := ps.retried.Load(); got != 1 {
+		t.Fatalf("retried = %d after dispatch 1, want 1", got)
+	}
+	if st := ps.breaker.State(); st != resilience.BreakerClosed {
+		t.Fatalf("breaker %v after dispatch 1, want closed", st)
+	}
+	// Dispatch 2: third consecutive failure opens the breaker; no retry
+	// against a peer just declared down.
+	if _, handled, err := c.Dispatch(ctx, job); handled || err != nil {
+		t.Fatalf("dispatch 2 = handled %v err %v, want local fallback", handled, err)
+	}
+	if st := ps.breaker.State(); st != resilience.BreakerOpen {
+		t.Fatalf("breaker %v after dispatch 2, want open", st)
+	}
+	if got := ps.retried.Load(); got != 1 {
+		t.Fatalf("retried = %d after breaker opened, want still 1", got)
+	}
+	if c.alive(addr) {
+		t.Fatal("open-breaker peer still in the ring")
+	}
+
+	// The peer recovers: its /healthz already passes, so the prober
+	// half-opens the breaker on its schedule.
+	failing.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for ps.breaker.State() != resilience.BreakerHalfOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never half-opened: %v", ps.breaker.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Dispatch 3: the half-open trial succeeds and closes the breaker.
+	res, handled, err := c.Dispatch(ctx, job)
+	if err != nil || !handled || res == nil || res.Peer != addr {
+		t.Fatalf("dispatch 3 = %+v handled %v err %v, want forwarded result", res, handled, err)
+	}
+	if st := ps.breaker.State(); st != resilience.BreakerClosed {
+		t.Fatalf("breaker %v after successful trial, want closed", st)
+	}
+	stats := c.DispatchStats()
+	if len(stats) != 1 || stats[0].BreakerOpens != 1 || stats[0].Retried != 1 ||
+		stats[0].Forwarded != 1 || stats[0].FailedOver != 2 {
+		t.Fatalf("final stats: %+v", stats[0])
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 
 	"kiter/internal/csdf"
+	"kiter/internal/faultinject"
 	"kiter/internal/kperiodic"
 	"kiter/internal/sched"
 	"kiter/internal/sizing"
@@ -24,6 +25,11 @@ var analysisOrder = []AnalysisKind{AnalysisSymbolic, AnalysisThroughput, Analysi
 // failures land in the per-section Error fields (they are deterministic
 // and cacheable); only context cancellation aborts the whole job.
 func (e *Engine) evaluate(ctx context.Context, req *Request) (*Result, error) {
+	// Chaos seam: "solver.entry" faults the whole job — an injected error
+	// fails it, an injected panic exercises the worker-level recovery.
+	if err := faultinject.Fire(faultinject.PointSolverEntry); err != nil {
+		return nil, err
+	}
 	res := &Result{Fingerprint: req.fingerprintHint}
 	if res.Fingerprint == "" {
 		res.Fingerprint = req.Graph.FingerprintHex()

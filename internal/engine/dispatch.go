@@ -71,6 +71,14 @@ type PeerStats struct {
 	Served uint64 `json:"served"`
 	// Probes counts health probes sent to the peer.
 	Probes uint64 `json:"probes"`
+	// Retried counts forwards that got a second, jittered-backoff attempt
+	// after the first failed (whatever the retry's outcome).
+	Retried uint64 `json:"retried"`
+	// BreakerState is the peer's circuit-breaker position ("closed",
+	// "half-open" or "open" — open peers are out of the ring);
+	// BreakerOpens counts how many times the breaker has tripped.
+	BreakerState string `json:"breakerState,omitempty"`
+	BreakerOpens uint64 `json:"breakerOpens"`
 }
 
 // DispatchStatser is the optional telemetry interface a Dispatcher may

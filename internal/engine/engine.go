@@ -392,6 +392,21 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
 	}
 }
 
+// PendingJobs returns the jobs submitted but not yet finished — the live
+// load signal admission control reads on every request (Stats() allocates
+// a full snapshot and is too heavy for that path).
+func (e *Engine) PendingJobs() int { return int(e.pending.Load()) }
+
+// WorkerCount returns the configured evaluation pool size.
+func (e *Engine) WorkerCount() int { return e.cfg.Workers }
+
+// QueueWaitQuantile returns the q-quantile of the observed submit→dequeue
+// queue waits in seconds, from the kiter_engine_queue_wait_seconds
+// histogram; 0 without Config.Metrics or before the first observation.
+func (e *Engine) QueueWaitQuantile(q float64) float64 {
+	return e.met.queueWait.Quantile(q)
+}
+
 // enqueue hands a job to the pool, giving up when every waiter abandoned
 // it or the engine closed before a worker became free.
 func (e *Engine) enqueue(j *job) {
@@ -470,7 +485,7 @@ func (e *Engine) runJob(j *job) {
 	}
 	e.stats.evaluations.Add(1)
 	start := time.Now()
-	res, err := e.evalFn(ctx, j.req)
+	res, err := e.safeEval(ctx, j.req)
 	elapsed := time.Since(start)
 	switch {
 	case err == nil:

@@ -1,0 +1,69 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime/debug"
+
+	"kiter/internal/csdf"
+	"kiter/internal/telemetry"
+)
+
+// PanicError is a solver panic recovered by the engine's isolation layer:
+// the job that hit it fails with this error while the worker (and the
+// process) keeps serving. The stack is captured at the recovery site.
+type PanicError struct {
+	// Where names the recovery site ("evaluate" for the worker-level
+	// recover, "solve.<method>" for a race contestant).
+	Where string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("engine: recovered panic in %s: %v", p.Where, p.Value)
+}
+
+// recoveredPanic accounts one recovered solver panic: it bumps the panic
+// counter, attaches the stack to the request's trace span (reaching the
+// -trace-log NDJSON sink for traced requests), logs it to stderr, and
+// returns the PanicError the job fails with.
+func (e *Engine) recoveredPanic(ctx context.Context, where string, v any) *PanicError {
+	stack := debug.Stack()
+	e.stats.panics.Add(1)
+	if span := telemetry.FromContext(ctx); span != nil {
+		span.SetAttr("panic", fmt.Sprint(v))
+		span.SetAttr("panicWhere", where)
+		span.SetAttr("panicStack", string(stack))
+	}
+	log.Printf("engine: recovered panic in %s: %v\n%s", where, v, stack)
+	return &PanicError{Where: where, Value: v, Stack: stack}
+}
+
+// safeEval runs the engine's evaluation function under panic isolation:
+// a panicking solver fails this one job instead of crashing the worker
+// goroutine (and with it the process).
+func (e *Engine) safeEval(ctx context.Context, req *Request) (res *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, e.recoveredPanic(ctx, "evaluate", v)
+		}
+	}()
+	return e.evalFn(ctx, req)
+}
+
+// safeRunMethod is runMethod under panic isolation, for race contestants:
+// recover must run on the panicking goroutine itself, so each contestant
+// wraps its solve here and a panicking method becomes one failed outcome
+// while the other contestants race on.
+func (e *Engine) safeRunMethod(ctx context.Context, g *csdf.Graph, m Method) (out raceOutcome) {
+	defer func() {
+		if v := recover(); v != nil {
+			out = raceOutcome{method: m, err: e.recoveredPanic(ctx, "solve."+string(m), v)}
+		}
+	}()
+	return e.runMethod(ctx, g, m)
+}

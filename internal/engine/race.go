@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"kiter/internal/csdf"
+	"kiter/internal/faultinject"
 	"kiter/internal/kperiodic"
 	"kiter/internal/symbexec"
 	"kiter/internal/telemetry"
@@ -71,7 +72,7 @@ func (e *Engine) raceThroughput(ctx context.Context, g *csdf.Graph, skipSymbolic
 			select {
 			case gate <- struct{}{}:
 				defer func() { <-gate }()
-				ch <- e.runMethod(raceCtx, g, m)
+				ch <- e.safeRunMethod(raceCtx, g, m)
 			case <-raceCtx.Done():
 				// The race settled (or was cancelled) before this
 				// contestant got a slot; report the cancellation so the
@@ -208,6 +209,13 @@ func (e *Engine) observeKIter(res *kperiodic.KIterResult, err error) {
 // runMethodInner dispatches to the solver for one strategy.
 func (e *Engine) runMethodInner(ctx context.Context, g *csdf.Graph, m Method) raceOutcome {
 	out := raceOutcome{method: m}
+	// Chaos seam: "solver.<method>" faults one contestant — under racing an
+	// injected panic here is recovered by safeRunMethod while the other
+	// contestants keep racing, so the job still succeeds.
+	if err := faultinject.Fire("solver." + string(m)); err != nil {
+		out.err = err
+		return out
+	}
 	switch m {
 	case MethodKIter:
 		res, err := kperiodic.KIterCtx(ctx, g, e.cfg.Options)

@@ -42,6 +42,7 @@ type counters struct {
 	errors       atomic.Uint64
 	cancelled    atomic.Uint64
 	rejected     atomic.Uint64
+	panics       atomic.Uint64
 	latencyNanos atomic.Int64
 	latencyCount atomic.Uint64
 
@@ -91,6 +92,11 @@ type Stats struct {
 	Errors    uint64 `json:"errors"`
 	Cancelled uint64 `json:"cancelled"`
 	Rejected  uint64 `json:"rejected"`
+	// Panics counts solver panics recovered by the isolation layer (worker
+	// evaluations and race contestants); each one failed a job with a
+	// PanicError instead of crashing the process. Panicking evaluations
+	// also count under Errors.
+	Panics uint64 `json:"panics"`
 	// HitRate is CacheHits / (CacheHits + CacheMisses), in [0, 1].
 	HitRate float64 `json:"hitRate"`
 	// MeanLatencyMS is the mean wall-clock evaluation time over
@@ -163,6 +169,7 @@ func (s Stats) Delta(prev Stats) Stats {
 		Errors:         sub(s.Errors, prev.Errors),
 		Cancelled:      sub(s.Cancelled, prev.Cancelled),
 		Rejected:       sub(s.Rejected, prev.Rejected),
+		Panics:         sub(s.Panics, prev.Panics),
 		RaceExtraSlots: sub(s.RaceExtraSlots, prev.RaceExtraSlots),
 		RaceStarved:    sub(s.RaceStarved, prev.RaceStarved),
 		CacheEntries:   s.CacheEntries,
@@ -208,6 +215,8 @@ func (s Stats) Delta(prev Stats) Stats {
 			p.FailedOver = sub(p.FailedOver, q.FailedOver)
 			p.Served = sub(p.Served, q.Served)
 			p.Probes = sub(p.Probes, q.Probes)
+			p.Retried = sub(p.Retried, q.Retried)
+			p.BreakerOpens = sub(p.BreakerOpens, q.BreakerOpens)
 			d.Cluster = append(d.Cluster, p)
 		}
 	}
@@ -262,6 +271,7 @@ func (e *Engine) Stats() Stats {
 		Errors:         e.stats.errors.Load(),
 		Cancelled:      e.stats.cancelled.Load(),
 		Rejected:       e.stats.rejected.Load(),
+		Panics:         e.stats.panics.Load(),
 		RaceExtraSlots: e.stats.raceBorrowed.Load(),
 		RaceStarved:    e.stats.raceStarved.Load(),
 		CacheEntries:   entries,

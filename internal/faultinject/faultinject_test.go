@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFireNoOpWithoutActiveSet(t *testing.T) {
+	Activate(nil)
+	if Active() {
+		t.Fatal("Active with nil set")
+	}
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+	if Fired("anything") != 0 {
+		t.Fatal("disarmed point reported fires")
+	}
+}
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"justapoint",             // no mode
+		"p:explode",              // unknown mode
+		"p:error:50ms",           // argument on a no-arg mode
+		"p:latency",              // latency without duration
+		"p:latency:notaduration", // unparsable duration
+		"p:latency:-5ms",         // negative duration
+		"p:error::0",             // count below 1
+		"p:error::x",             // non-numeric count
+		":error",                 // empty point
+		"p:error::2:extra",       // too many fields
+		"p:error,p:panic",        // same point armed twice
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestParseEmptySpecDisarms(t *testing.T) {
+	for _, spec := range []string{"", "  ", ","} {
+		s, err := Parse(spec)
+		if err != nil || s != nil {
+			t.Fatalf("Parse(%q) = %v, %v; want nil, nil", spec, s, err)
+		}
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	s, err := Parse("cache.get:error")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	Activate(s)
+	defer Activate(nil)
+
+	if err := Fire(PointCacheGet); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire = %v, want ErrInjected", err)
+	}
+	if err := Fire("cache.put"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if got := Fired(PointCacheGet); got != 1 {
+		t.Fatalf("Fired = %d, want 1", got)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	s, err := Parse("solver.entry:panic")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	Activate(s)
+	defer Activate(nil)
+
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic injected")
+		}
+		if msg, ok := v.(string); !ok || !strings.Contains(msg, "solver.entry") {
+			t.Fatalf("panic value = %v", v)
+		}
+	}()
+	Fire(PointSolverEntry)
+}
+
+func TestLatencyInjection(t *testing.T) {
+	s, err := Parse("slow:latency:30ms")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	Activate(s)
+	defer Activate(nil)
+
+	start := time.Now()
+	if err := Fire("slow"); err != nil {
+		t.Fatalf("latency Fire returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("latency injection slept only %v", elapsed)
+	}
+}
+
+// TestCountCapUnderConcurrency: a count-capped clause fires exactly its
+// budget even when hammered from many goroutines, then passes forever.
+func TestCountCapUnderConcurrency(t *testing.T) {
+	s, err := Parse("p:error::5")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	Activate(s)
+	defer Activate(nil)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- Fire("p")
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	injected := 0
+	for err := range errs {
+		if err != nil {
+			injected++
+		}
+	}
+	if injected != 5 {
+		t.Fatalf("injected %d faults, want exactly 5", injected)
+	}
+	if Fired("p") != 5 {
+		t.Fatalf("Fired = %d, want 5", Fired("p"))
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatal("exhausted clause still firing")
+	}
+}
+
+func TestMultiClauseSpec(t *testing.T) {
+	s, err := Parse(" cache.get:error , dispatch.forward:error::2 ,solver.entry:latency:1ms")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	Activate(s)
+	defer Activate(nil)
+
+	if got := len(Points()); got != 3 {
+		t.Fatalf("Points = %v, want 3 entries", Points())
+	}
+	if err := Fire(PointForward); !errors.Is(err, ErrInjected) {
+		t.Fatalf("forward clause: %v", err)
+	}
+	if err := Fire(PointForward); !errors.Is(err, ErrInjected) {
+		t.Fatalf("forward clause (2nd): %v", err)
+	}
+	if err := Fire(PointForward); err != nil {
+		t.Fatalf("forward clause past cap: %v", err)
+	}
+	if err := Fire(PointSolverEntry); err != nil {
+		t.Fatalf("latency clause: %v", err)
+	}
+}
