@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"kiter/internal/telemetry"
+)
+
+// sample is one completed request as seen by the recorder.
+type sample struct {
+	endpoint string
+	status   int // 0 = transport error (dial/timeout/reset)
+	class    string
+	latency  time.Duration
+	hits     int // "cacheHit":true occurrences in the response
+	misses   int // "cacheHit":false occurrences
+}
+
+// classify buckets a response for the error/shed/drain accounting:
+// 429 and non-draining 503s are the server's load-shedding ladder, a 503
+// whose body says "draining" is the graceful-shutdown path, and anything
+// else non-2xx (or a transport failure, status 0) is an error.
+func classify(status int, body []byte) string {
+	switch {
+	case status >= 200 && status < 300:
+		return "ok"
+	case status == http.StatusTooManyRequests:
+		return "shed"
+	case status == http.StatusServiceUnavailable:
+		if bytes.Contains(body, []byte("draining")) {
+			return "drained"
+		}
+		return "shed"
+	default:
+		return "error"
+	}
+}
+
+var (
+	hitMarker  = []byte(`"cacheHit":true`)
+	missMarker = []byte(`"cacheHit":false`)
+)
+
+// runOne sends the request and reads the full response (for /sweep that is
+// the whole NDJSON stream, so its latency is stream-completion latency).
+// Latency is measured from sched, not from the actual send: under an
+// open-loop pacer that charges any client-side queuing delay to the
+// request, avoiding coordinated omission. Closed-loop callers pass the
+// send time itself.
+func runOne(client *http.Client, base string, req benchReq, sched time.Time) sample {
+	s := sample{endpoint: req.endpoint}
+	hreq, err := http.NewRequest(http.MethodPost, base+req.endpoint, bytes.NewReader(req.body))
+	if err != nil {
+		s.class, s.latency = "error", time.Since(sched)
+		return s
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		s.class, s.latency = "error", time.Since(sched)
+		return s
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s.latency = time.Since(sched)
+	s.status = resp.StatusCode
+	s.class = classify(resp.StatusCode, body)
+	if s.class == "ok" {
+		s.hits = bytes.Count(body, hitMarker)
+		s.misses = bytes.Count(body, missMarker)
+	}
+	return s
+}
+
+// epStats accumulates one endpoint's samples. Latencies reuse the
+// telemetry histogram machinery (8 sub-buckets per octave, ~6% relative
+// resolution) so quantiles come from the same estimator the server's
+// /metrics endpoint exposes.
+type epStats struct {
+	hist     *telemetry.Histogram
+	requests uint64
+	ok       uint64
+	errors   uint64
+	shed     uint64
+	drained  uint64
+	hits     uint64
+	misses   uint64
+	max      time.Duration
+	byStatus map[string]uint64
+}
+
+var benchBuckets = telemetry.LogLinearBuckets(1e-6, 27, 8)
+
+func newEpStats() *epStats {
+	return &epStats{
+		hist:     telemetry.NewHistogram("kiterbench_latency_seconds", benchBuckets),
+		byStatus: map[string]uint64{},
+	}
+}
+
+// recorder aggregates samples per endpoint. Samples that started inside
+// the warmup window are never offered to it, so everything here is
+// steady-state.
+type recorder struct {
+	mu  sync.Mutex
+	eps map[string]*epStats
+}
+
+func newRecorder() *recorder { return &recorder{eps: map[string]*epStats{}} }
+
+func (r *recorder) add(s sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep := r.eps[s.endpoint]
+	if ep == nil {
+		ep = newEpStats()
+		r.eps[s.endpoint] = ep
+	}
+	ep.requests++
+	ep.hist.Observe(s.latency.Seconds())
+	if s.latency > ep.max {
+		ep.max = s.latency
+	}
+	status := "transport-error"
+	if s.status != 0 {
+		status = strconv.Itoa(s.status)
+	}
+	ep.byStatus[status]++
+	switch s.class {
+	case "ok":
+		ep.ok++
+		ep.hits += uint64(s.hits)
+		ep.misses += uint64(s.misses)
+	case "shed":
+		ep.shed++
+	case "drained":
+		ep.drained++
+	default:
+		ep.errors++
+	}
+}
+
+// loopConfig is everything a load phase needs beyond its own knob
+// (concurrency or target RPS).
+type loopConfig struct {
+	client   *http.Client
+	base     string
+	wl       *workload
+	warmup   time.Duration
+	duration time.Duration
+}
+
+// closedLoop runs `concurrency` workers back-to-back until the measured
+// window closes: classic fixed-concurrency load, throughput set by the
+// server. Returns the measured-window wall time (denominator for RPS).
+func closedLoop(cfg loopConfig, rec *recorder, concurrency int) time.Duration {
+	start := time.Now()
+	warmEnd := start.Add(cfg.warmup)
+	deadline := warmEnd.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t0 := time.Now()
+				if !t0.Before(deadline) {
+					return
+				}
+				s := runOne(cfg.client, cfg.base, cfg.wl.pick(), t0)
+				if !t0.Before(warmEnd) {
+					rec.add(s)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(warmEnd)
+}
+
+// openLoop fires requests on an absolute schedule at targetRps (ramping
+// linearly over ramp at the start), independent of response latency: the
+// arrival process the server would see from independent clients. In-flight
+// requests are capped at maxInflight; a tick that finds the cap exhausted
+// is counted as dropped rather than queued, so a saturated server shows up
+// as drops + rising latency instead of a silently slower arrival rate.
+// Returns the measured window and the dropped-tick count.
+func openLoop(cfg loopConfig, rec *recorder, targetRps float64, ramp time.Duration, maxInflight int) (time.Duration, uint64) {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	start := time.Now()
+	warmEnd := start.Add(cfg.warmup)
+	end := warmEnd.Add(cfg.duration)
+	sem := make(chan struct{}, maxInflight)
+	var wg sync.WaitGroup
+	var dropped uint64
+
+	next := start
+	for next.Before(end) {
+		rate := targetRps
+		if t := next.Sub(start); ramp > 0 && t < ramp {
+			frac := float64(t) / float64(ramp)
+			if frac < 0.05 {
+				frac = 0.05
+			}
+			rate = targetRps * frac
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(sched time.Time) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				s := runOne(cfg.client, cfg.base, cfg.wl.pick(), sched)
+				if !sched.Before(warmEnd) {
+					rec.add(s)
+				}
+			}(next)
+		default:
+			if !next.Before(warmEnd) {
+				dropped++
+			}
+		}
+		next = next.Add(time.Duration(float64(time.Second) / rate))
+	}
+	wg.Wait()
+	return time.Since(warmEnd), dropped
+}

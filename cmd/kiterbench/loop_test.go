@@ -1,0 +1,175 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubKiterd emulates the serve path's response shapes: compact /analyze
+// replies with a cacheHit flag, /sweep NDJSON streams, plus the shed and
+// drain status ladder — so loop and recorder behavior is tested without
+// booting a real engine.
+func stubKiterd(t *testing.T, hitEvery, shedEvery int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var seq atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/analyze", func(w http.ResponseWriter, r *http.Request) {
+		n := seq.Add(1)
+		if shedEvery > 0 && n%int64(shedEvery) == 0 {
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		hit := hitEvery > 0 && n%int64(hitEvery) == 0
+		fmt.Fprintf(w, `{"result":{"throughput":0.1,"cacheHit":%v,"deduped":false}}`+"\n", hit)
+	})
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		seq.Add(1)
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"scenario":%d,"result":{"cacheHit":%v}}`+"\n", i, i == 0)
+		}
+		fmt.Fprintln(w, `{"envelope":{"scenarios":3}}`)
+	})
+	mux.HandleFunc("/draining", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining: not accepting work", http.StatusServiceUnavailable)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &seq
+}
+
+func testLoopConfig(t *testing.T, ts *httptest.Server, warmup, duration time.Duration) loopConfig {
+	t.Helper()
+	wl, err := newWorkload("analyze=3,sweep=1", "tiny", 0.5, 4, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loopConfig{
+		client:   &http.Client{Timeout: 5 * time.Second},
+		base:     ts.URL,
+		wl:       wl,
+		warmup:   warmup,
+		duration: duration,
+	}
+}
+
+// TestClosedLoopRecords drives the closed loop against the stub and checks
+// the whole chain: warmup discard, per-endpoint accounting, shed counting,
+// cache-hit parsing (from both single replies and NDJSON streams), and the
+// derived cache-adjusted throughput.
+func TestClosedLoopRecords(t *testing.T) {
+	ts, _ := stubKiterd(t, 2, 10)
+	cfg := testLoopConfig(t, ts, 50*time.Millisecond, 400*time.Millisecond)
+	rec := newRecorder()
+	window := closedLoop(cfg, rec, 4)
+	if window < cfg.duration {
+		t.Fatalf("window %v shorter than configured duration %v", window, cfg.duration)
+	}
+	run := buildRun("closed", rec, window)
+	if run.Requests < 20 {
+		t.Fatalf("only %d requests recorded in %v", run.Requests, window)
+	}
+	if run.Rps <= 0 {
+		t.Fatal("rps not computed")
+	}
+	analyze := findEndpoint(t, &run, "/analyze")
+	sweep := findEndpoint(t, &run, "/sweep")
+	if analyze.Requests == 0 || sweep.Requests == 0 {
+		t.Fatalf("mix not exercised: analyze=%d sweep=%d", analyze.Requests, sweep.Requests)
+	}
+	if analyze.Shed == 0 {
+		t.Fatal("stub sheds every 10th request but none recorded")
+	}
+	if analyze.ByStatus["429"] != analyze.Shed {
+		t.Fatalf("by_status[429] = %d, shed = %d", analyze.ByStatus["429"], analyze.Shed)
+	}
+	// Stub: every sweep stream carries 1 hit + 2 misses; analyze alternates.
+	if sweep.CacheHits == 0 || sweep.CacheMisses != 2*sweep.CacheHits {
+		t.Fatalf("sweep stream hit parsing off: hits=%d misses=%d", sweep.CacheHits, sweep.CacheMisses)
+	}
+	if run.CacheHitRatio <= 0 || run.CacheHitRatio >= 1 {
+		t.Fatalf("cache hit ratio = %v, want in (0,1)", run.CacheHitRatio)
+	}
+	if run.CacheAdjustedRps >= run.Rps || run.CacheAdjustedRps <= 0 {
+		t.Fatalf("cache-adjusted rps %v not discounted from %v", run.CacheAdjustedRps, run.Rps)
+	}
+	if run.Overall.P99Ms < run.Overall.P50Ms {
+		t.Fatalf("p99 %vms < p50 %vms", run.Overall.P99Ms, run.Overall.P50Ms)
+	}
+	if run.Overall.MaxMs <= 0 {
+		t.Fatal("max latency not recorded")
+	}
+}
+
+// TestOpenLoopPacing checks the open loop hits a rate in the neighborhood
+// of the target against a fast stub, and that ramp + warmup don't leak
+// pre-window samples into the recorder.
+func TestOpenLoopPacing(t *testing.T) {
+	ts, _ := stubKiterd(t, 2, 0)
+	cfg := testLoopConfig(t, ts, 100*time.Millisecond, 500*time.Millisecond)
+	rec := newRecorder()
+	window, dropped := openLoop(cfg, rec, 400, 100*time.Millisecond, 256)
+	run := buildRun("open", rec, window)
+	// 400 rps over a 0.5s window ≈ 200 requests; allow generous slack for
+	// scheduler jitter on loaded CI machines.
+	if run.Requests < 100 || run.Requests > 260 {
+		t.Fatalf("open loop recorded %d requests for a 400rps × 0.5s window", run.Requests)
+	}
+	if dropped > run.Requests/10 {
+		t.Fatalf("%d dropped ticks against an instant stub", dropped)
+	}
+}
+
+// TestTransportErrorsAndDrainClassified points the loop at a dead port and
+// the drain status at the classifier directly.
+func TestTransportErrorsAndDrainClassified(t *testing.T) {
+	if got := classify(0, nil); got != "error" {
+		t.Fatalf("transport failure classified %q", got)
+	}
+	if got := classify(http.StatusServiceUnavailable, []byte("draining: shutdown")); got != "drained" {
+		t.Fatalf("draining 503 classified %q", got)
+	}
+	if got := classify(http.StatusServiceUnavailable, []byte("queue full")); got != "shed" {
+		t.Fatalf("overload 503 classified %q", got)
+	}
+	if got := classify(http.StatusTooManyRequests, nil); got != "shed" {
+		t.Fatalf("429 classified %q", got)
+	}
+	if got := classify(http.StatusBadRequest, nil); got != "error" {
+		t.Fatalf("400 classified %q", got)
+	}
+
+	wl, err := newWorkload("analyze", "tiny", 0, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 500 * time.Millisecond}
+	s := runOne(client, "http://127.0.0.1:1", wl.pick(), time.Now())
+	if s.class != "error" || s.status != 0 {
+		t.Fatalf("dead target gave class=%q status=%d, want error/0", s.class, s.status)
+	}
+	rec := newRecorder()
+	rec.add(s)
+	run := buildRun("closed", rec, time.Second)
+	ep := findEndpoint(t, &run, "/analyze")
+	if ep.Errors != 1 || ep.ByStatus["transport-error"] != 1 {
+		t.Fatalf("transport error not accounted: %+v", ep)
+	}
+}
+
+func findEndpoint(t *testing.T, run *RunResult, name string) EndpointResult {
+	t.Helper()
+	for _, ep := range run.Endpoints {
+		if ep.Endpoint == name {
+			return ep
+		}
+	}
+	t.Fatalf("endpoint %s missing from run (have %v)", name, run.Endpoints)
+	return EndpointResult{}
+}

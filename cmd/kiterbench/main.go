@@ -1,0 +1,226 @@
+// Command kiterbench is an HTTP load generator for kiterd's serve path.
+// It drives /analyze and /sweep with a configurable mix of graph sizes and
+// cold-vs-warm fingerprints (so the server's cache-hit ratio is a dial,
+// not an accident), in two modes:
+//
+//   - closed loop: a fixed number of workers issue requests back-to-back,
+//     so throughput is set by the server — the classic saturation probe;
+//   - open loop: requests fire on an absolute schedule at a target RPS
+//     with a linear ramp, independent of response latency — the arrival
+//     process a fleet of independent clients produces. Latency is charged
+//     from the scheduled (not actual) send time, so client-side queuing
+//     shows up in the tail instead of being coordinated-omission'd away.
+//
+// Results are written as a BENCH_serve_*.json report with per-endpoint
+// p50/p95/p99/p99.9, error/shed/drain rates by status code, and
+// cache-hit-adjusted throughput. -slo takes assertions like
+// "p99=250ms,errors=0.1%" and the process exits 2 when any run violates
+// one, which is what makes it a CI gate rather than a chart generator.
+//
+// Example:
+//
+//	kiterbench -target http://127.0.0.1:9090 -mode both \
+//	    -concurrency 16 -rps 200 -duration 10s -warmup 2s -ramp 2s \
+//	    -mix analyze=9,sweep=1 -sizes tiny=4,small=2,medium=1 \
+//	    -warm-ratio 0.7 -slo p99=250ms,errors=0.1% -o BENCH_serve.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("kiterbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target      = fs.String("target", "http://127.0.0.1:9090", "base URL of the kiterd instance (or fleet front) to load")
+		mode        = fs.String("mode", "both", "load mode: closed, open, or both")
+		concurrency = fs.Int("concurrency", 16, "closed loop: number of back-to-back workers")
+		rps         = fs.Float64("rps", 200, "open loop: target request rate after ramp")
+		duration    = fs.Duration("duration", 10*time.Second, "measured window per mode (after warmup)")
+		warmup      = fs.Duration("warmup", 2*time.Second, "per-mode warmup; samples started inside it are discarded")
+		ramp        = fs.Duration("ramp", 2*time.Second, "open loop: linear ramp from ~0 to -rps at the start")
+		maxInflight = fs.Int("max-inflight", 0, "open loop: in-flight cap; ticks past it count as dropped (0 = 4×rps, min 64)")
+		mix         = fs.String("mix", "analyze=9,sweep=1", "endpoint weights: analyze=N,sweep=M")
+		sizes       = fs.String("sizes", "tiny=4,small=2,medium=1", "graph size-bucket weights over tiny,small,medium,large")
+		warmRatio   = fs.Float64("warm-ratio", 0.7, "fraction of requests drawn from the warm fingerprint pool [0,1]")
+		warmPool    = fs.Int("warm-pool", 32, "distinct warm fingerprints per bucket")
+		sweepPoints = fs.Int("sweep-points", 4, "scenarios per /sweep request")
+		seed        = fs.Int64("seed", 1, "workload RNG seed")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-request client timeout")
+		slo         = fs.String("slo", "", "SLO assertions, e.g. p99=250ms,errors=0.1%,sweep.p95=1s (exit 2 on violation)")
+		out         = fs.String("o", "", "write the JSON report here ('' = stdout only)")
+		label       = fs.String("label", "serve", "report label")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *mode != "closed" && *mode != "open" && *mode != "both" {
+		fmt.Fprintf(stderr, "kiterbench: -mode %q: want closed, open, or both\n", *mode)
+		return 1
+	}
+	rules, err := parseSLO(*slo)
+	if err != nil {
+		fmt.Fprintln(stderr, "kiterbench:", err)
+		return 1
+	}
+	wl, err := newWorkload(*mix, *sizes, *warmRatio, *warmPool, *sweepPoints, *seed)
+	if err != nil {
+		fmt.Fprintln(stderr, "kiterbench:", err)
+		return 1
+	}
+	inflight := *maxInflight
+	if inflight <= 0 {
+		inflight = int(*rps * 4)
+		if inflight < 64 {
+			inflight = 64
+		}
+	}
+
+	// The client practices what the cluster-transport fix preaches: idle
+	// connections sized to the generator's own parallelism, so the bench
+	// measures the server, not its own dialer.
+	perHost := *concurrency
+	if inflight > perHost {
+		perHost = inflight
+	}
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+			MaxIdleConns:        perHost,
+			MaxIdleConnsPerHost: perHost,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	if err := waitReachable(client, *target, 10*time.Second); err != nil {
+		fmt.Fprintln(stderr, "kiterbench:", err)
+		return 1
+	}
+
+	report := Report{
+		Label:     *label,
+		Target:    *target,
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		Mix:       *mix,
+		Sizes:     *sizes,
+		WarmRatio: *warmRatio,
+		SLO:       *slo,
+	}
+	cfg := loopConfig{client: client, base: *target, wl: wl, warmup: *warmup, duration: *duration}
+
+	var modes []string
+	switch *mode {
+	case "both":
+		modes = []string{"closed", "open"}
+	default:
+		modes = []string{*mode}
+	}
+	violated := false
+	for _, m := range modes {
+		rec := newRecorder()
+		var runRes RunResult
+		switch m {
+		case "closed":
+			fmt.Fprintf(stderr, "kiterbench: closed loop, %d workers, %v warmup + %v measured\n",
+				*concurrency, *warmup, *duration)
+			window := closedLoop(cfg, rec, *concurrency)
+			runRes = buildRun("closed", rec, window)
+			runRes.Concurrency = *concurrency
+		case "open":
+			fmt.Fprintf(stderr, "kiterbench: open loop, %.0f rps target (%v ramp), %v warmup + %v measured\n",
+				*rps, *ramp, *warmup, *duration)
+			window, dropped := openLoop(cfg, rec, *rps, *ramp, inflight)
+			runRes = buildRun("open", rec, window)
+			runRes.TargetRps = *rps
+			runRes.RampSeconds = ramp.Seconds()
+			runRes.DroppedTicks = dropped
+		}
+		runRes.WarmupSeconds = warmup.Seconds()
+		runRes.SLOViolations = checkSLO(rules, &runRes)
+		if len(runRes.SLOViolations) > 0 {
+			violated = true
+		}
+		report.Runs = append(report.Runs, runRes)
+		printRun(stdout, &runRes)
+	}
+
+	doc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "kiterbench:", err)
+		return 1
+	}
+	doc = append(doc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, doc, 0o644); err != nil {
+			fmt.Fprintln(stderr, "kiterbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "kiterbench: report written to %s\n", *out)
+	} else {
+		stdout.Write(doc)
+	}
+	if violated {
+		for _, r := range report.Runs {
+			for _, v := range r.SLOViolations {
+				fmt.Fprintln(stderr, "kiterbench: SLO violation:", v)
+			}
+		}
+		return 2
+	}
+	return 0
+}
+
+// waitReachable polls the target's /healthz until the server answers any
+// HTTP status, so a CI step can start kiterd and kiterbench back-to-back
+// without scripting its own readiness loop.
+func waitReachable(client *http.Client, target string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(target + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			return nil
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("target %s unreachable after %v: %v", target, patience, lastErr)
+}
+
+// printRun writes the human-readable summary table for one run.
+func printRun(w *os.File, r *RunResult) {
+	head := r.Mode
+	if r.Mode == "closed" {
+		head = fmt.Sprintf("closed loop (%d workers)", r.Concurrency)
+	} else if r.TargetRps > 0 {
+		head = fmt.Sprintf("open loop (%.0f rps target)", r.TargetRps)
+	}
+	fmt.Fprintf(w, "\n%s — %d requests in %.1fs: %.1f rps, %.1f%% cache hits, %.1f solve-rps\n",
+		head, r.Requests, r.WindowSeconds, r.Rps, r.CacheHitRatio*100, r.CacheAdjustedRps)
+	if r.DroppedTicks > 0 {
+		fmt.Fprintf(w, "  %d pacer ticks dropped at the in-flight cap (client saturated)\n", r.DroppedTicks)
+	}
+	fmt.Fprintf(w, "  %-10s %9s %9s %9s %9s %9s %7s %7s %7s\n",
+		"endpoint", "p50", "p95", "p99", "p99.9", "max", "ok", "shed", "err")
+	rows := append([]EndpointResult{r.Overall}, r.Endpoints...)
+	for _, ep := range rows {
+		fmt.Fprintf(w, "  %-10s %8.2fms %8.2fms %8.2fms %8.2fms %8.1fms %7d %7d %7d\n",
+			ep.Endpoint, ep.P50Ms, ep.P95Ms, ep.P99Ms, ep.P999Ms, ep.MaxMs,
+			ep.OK, ep.Shed+ep.Drained, ep.Errors)
+	}
+	for _, v := range r.SLOViolations {
+		fmt.Fprintln(w, "  SLO VIOLATION:", v)
+	}
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestParseSLO(t *testing.T) {
+	rules, err := parseSLO("p99=250ms,errors=0.1%,sweep.p95=1s,shed=0.02,analyze.p999=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 5 {
+		t.Fatalf("parsed %d rules, want 5", len(rules))
+	}
+	if rules[0].metric != "p99" || rules[0].threshold != 0.25 || rules[0].endpoint != "" {
+		t.Fatalf("p99 rule parsed as %+v", rules[0])
+	}
+	if rules[1].metric != "errors" || rules[1].threshold != 0.001 {
+		t.Fatalf("percent error rule parsed as %+v", rules[1])
+	}
+	if rules[2].endpoint != "/sweep" || rules[2].threshold != 1.0 {
+		t.Fatalf("scoped rule parsed as %+v", rules[2])
+	}
+	if rules[3].threshold != 0.02 {
+		t.Fatalf("bare-fraction rule parsed as %+v", rules[3])
+	}
+	if rules[4].endpoint != "/analyze" || rules[4].metric != "p999" {
+		t.Fatalf("scoped p999 rule parsed as %+v", rules[4])
+	}
+
+	for _, bad := range []string{"p98=1ms", "p99=fast", "errors=many", "frontend.p99=1ms", "p99"} {
+		if _, err := parseSLO(bad); err == nil {
+			t.Fatalf("parseSLO(%q) accepted", bad)
+		}
+	}
+	if rules, err := parseSLO(""); err != nil || len(rules) != 0 {
+		t.Fatalf("empty slo: rules=%v err=%v", rules, err)
+	}
+}
+
+func TestCheckSLO(t *testing.T) {
+	run := RunResult{
+		Mode: "closed",
+		Overall: EndpointResult{
+			Endpoint: "overall", P99Ms: 300, P50Ms: 10, ErrorRate: 0.005,
+		},
+		Endpoints: []EndpointResult{
+			{Endpoint: "/analyze", P95Ms: 20, ErrorRate: 0},
+		},
+	}
+	mustRules := func(s string) []sloRule {
+		t.Helper()
+		rules, err := parseSLO(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rules
+	}
+
+	v := checkSLO(mustRules("p99=250ms,errors=0.1%"), &run)
+	if len(v) != 2 {
+		t.Fatalf("want 2 violations, got %v", v)
+	}
+	if !strings.Contains(v[0], "p99") || !strings.Contains(v[1], "errors") {
+		t.Fatalf("violation text: %v", v)
+	}
+	if v := checkSLO(mustRules("p99=1s,errors=1%,p50=100ms"), &run); len(v) != 0 {
+		t.Fatalf("passing run flagged: %v", v)
+	}
+	if v := checkSLO(mustRules("analyze.p95=10ms"), &run); len(v) != 1 {
+		t.Fatalf("scoped rule not applied: %v", v)
+	}
+	// A rule scoped to an endpoint the mix never hit is vacuous.
+	if v := checkSLO(mustRules("sweep.p99=1ms"), &run); len(v) != 0 {
+		t.Fatalf("vacuous scoped rule flagged: %v", v)
+	}
+}
+
+// TestRunExitCodes exercises the binary's contract end to end against the
+// stub server: exit 0 with a satisfiable SLO, exit 2 on violation, with
+// the report written either way.
+func TestRunExitCodes(t *testing.T) {
+	ts, _ := stubKiterd(t, 0, 0)
+	out := t.TempDir() + "/BENCH_serve_test.json"
+	base := []string{
+		"-target", ts.URL, "-mode", "closed", "-concurrency", "2",
+		"-duration", "200ms", "-warmup", "50ms", "-mix", "analyze",
+		"-sizes", "tiny", "-o", out,
+	}
+	if code := run(append(base, "-slo", "p99=10s,errors=50%"), devNull(t), devNull(t)); code != 0 {
+		t.Fatalf("satisfiable SLO exited %d", code)
+	}
+	if code := run(append(base, "-slo", "p999=1ns"), devNull(t), devNull(t)); code != 2 {
+		t.Fatalf("impossible SLO exited %d, want 2", code)
+	}
+	if code := run([]string{"-slo", "p98=1ms"}, devNull(t), devNull(t)); code != 1 {
+		t.Fatal("bad SLO flag accepted")
+	}
+	if code := run([]string{"-mode", "sideways"}, devNull(t), devNull(t)); code != 1 {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

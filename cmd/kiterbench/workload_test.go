@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"kiter/internal/sdf3x"
+	"kiter/internal/sweep"
+)
+
+// TestTemplatesRenderValidBodies pins the template machinery end to end:
+// every size bucket's analyze body must round-trip through the same graph
+// decoder kiterd uses, and every sweep body through the server's spec
+// parser and compiler — so a workload change that produces 400s shows up
+// here, not as a mysteriously error-heavy bench run.
+func TestTemplatesRenderValidBodies(t *testing.T) {
+	for bucket, n := range bucketTasks {
+		tmpl, err := newBodyTemplate(bucket, n, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", bucket, err)
+		}
+		g, err := sdf3x.ReadJSON(bytes.NewReader(tmpl.analyzeBody(12345)))
+		if err != nil {
+			t.Fatalf("%s analyze body: %v", bucket, err)
+		}
+		if got := len(g.Tasks()); got != n {
+			t.Fatalf("%s analyze body has %d tasks, want %d", bucket, got, n)
+		}
+		spec, err := sweep.ParseSpec(tmpl.sweepBody(12345))
+		if err != nil {
+			t.Fatalf("%s sweep body: %v", bucket, err)
+		}
+		spec.Method = "kiter"
+		x, err := sweep.Compile(spec, false)
+		if err != nil {
+			t.Fatalf("%s sweep compile: %v", bucket, err)
+		}
+		if got := x.Total(); got != 4 {
+			t.Fatalf("%s sweep compiles to %d scenarios, want 4", bucket, got)
+		}
+	}
+}
+
+// TestColdBodiesAreDistinct asserts cold fingerprints never repeat —
+// the property that makes -warm-ratio the cache-hit dial.
+func TestColdBodiesAreDistinct(t *testing.T) {
+	wl, err := newWorkload("analyze", "tiny", 0, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		req := wl.pick()
+		if req.warm {
+			t.Fatal("warm request with -warm-ratio 0")
+		}
+		if seen[string(req.body)] {
+			t.Fatalf("cold body repeated at pick %d", i)
+		}
+		seen[string(req.body)] = true
+	}
+}
+
+// TestWarmPoolIsStable asserts warm bodies draw from a fixed pool: with a
+// pool of k fingerprints, an all-warm run produces at most k distinct
+// bodies, each a guaranteed server-side cache hit after its first use.
+func TestWarmPoolIsStable(t *testing.T) {
+	const pool = 4
+	wl, err := newWorkload("analyze", "tiny", 1, pool, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		req := wl.pick()
+		if !req.warm {
+			t.Fatal("cold request with -warm-ratio 1")
+		}
+		seen[string(req.body)] = true
+	}
+	if len(seen) > pool {
+		t.Fatalf("all-warm run produced %d distinct bodies, want <= %d", len(seen), pool)
+	}
+}
+
+// TestMixAndWarmRatioHonored checks the request mix statistically: with a
+// seeded RNG over 2000 picks the endpoint split and warm fraction must
+// land near their configured weights.
+func TestMixAndWarmRatioHonored(t *testing.T) {
+	wl, err := newWorkload("analyze=3,sweep=1", "tiny=1,small=1", 0.5, 8, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const picks = 2000
+	var analyze, warm int
+	for i := 0; i < picks; i++ {
+		req := wl.pick()
+		if req.endpoint == "/analyze" {
+			analyze++
+		}
+		if req.warm {
+			warm++
+		}
+	}
+	if f := float64(analyze) / picks; f < 0.70 || f > 0.80 {
+		t.Fatalf("analyze fraction = %.3f, want ~0.75", f)
+	}
+	if f := float64(warm) / picks; f < 0.45 || f > 0.55 {
+		t.Fatalf("warm fraction = %.3f, want ~0.5", f)
+	}
+}
+
+func TestParseWeightsRejectsUnknownAndEmpty(t *testing.T) {
+	if _, err := newWorkload("analyze=1,frobnicate=2", "tiny", 0.5, 1, 1, 1); err == nil {
+		t.Fatal("unknown mix component accepted")
+	}
+	if _, err := newWorkload("analyze", "huge=3", 0.5, 1, 1, 1); err == nil {
+		t.Fatal("unknown size bucket accepted")
+	}
+	if _, err := newWorkload("analyze=0", "tiny", 0.5, 1, 1, 1); err == nil {
+		t.Fatal("all-zero mix accepted")
+	}
+	if _, err := newWorkload("analyze", "tiny", 1.5, 1, 1, 1); err == nil {
+		t.Fatal("warm ratio > 1 accepted")
+	}
+}

@@ -180,7 +180,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout, reg)
+	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout, *workers, reg)
 	if err != nil {
 		return err
 	}
@@ -296,7 +296,9 @@ func run() error {
 // defaults to the listen address, with a bare ":port" completed to
 // 127.0.0.1 — fine for a local fleet, but multi-host fleets must set -self
 // to the name the peers dial, because addresses are ring identities.
-func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration, reg *telemetry.Registry) (*cluster.Cluster, error) {
+// workers (the -workers flag, 0 = GOMAXPROCS) sizes the forwarding
+// transport's per-peer connection pool to the engine's concurrency.
+func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration, workers int, reg *telemetry.Registry) (*cluster.Cluster, error) {
 	if peers == "" {
 		return nil, nil
 	}
@@ -327,6 +329,7 @@ func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.
 		Self:           self,
 		Peers:          list,
 		ForwardTimeout: forwardTimeout,
+		Workers:        workers,
 		Metrics:        reg,
 	})
 }

@@ -57,8 +57,57 @@ func TestAnalyzeBareGraph(t *testing.T) {
 	if !resp.Result.Throughput.Optimal {
 		t.Fatal("result not optimal")
 	}
-	if resp.Stats.Submitted == 0 {
-		t.Fatal("response carries no stats")
+	if resp.Stats != nil {
+		t.Fatal("stats snapshot present without ?stats=1")
+	}
+}
+
+// TestAnalyzeMinimalReplyShape pins the default /analyze reply to the
+// minimal shape: a compact single-line body whose only key is "result" —
+// no stats snapshot (opt-in via ?stats=1), no indentation. The stats
+// snapshot grows with cluster/tier/race-category counters, so shipping it
+// per request was pure hot-path bloat.
+func TestAnalyzeMinimalReplyShape(t *testing.T) {
+	srv := newTestServer(t)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(graphBody(t))))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
+	}
+	body := rec.Body.String()
+	if strings.Contains(body, "\n  ") {
+		t.Fatalf("/analyze response is pretty-printed:\n%s", body)
+	}
+	if n := strings.Count(strings.TrimSpace(body), "\n"); n != 0 {
+		t.Fatalf("/analyze response spans %d extra lines", n)
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &keys); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := keys["stats"]; ok {
+		t.Fatalf("default reply carries stats: %s", body)
+	}
+	if _, ok := keys["result"]; !ok || len(keys) != 1 {
+		t.Fatalf("default reply keys = %v, want [result]", keys)
+	}
+
+	// Opting in brings the snapshot back.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analyze?stats=1", bytes.NewReader(graphBody(t))))
+	var resp analyzeResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stats == nil || resp.Stats.Submitted == 0 {
+		t.Fatalf("?stats=1 reply carries no stats: %s", rec.Body)
+	}
+
+	// Human-facing endpoints keep the indented encoder.
+	rec = httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if !strings.Contains(rec.Body.String(), "\n  ") {
+		t.Fatal("/stats response is not pretty-printed")
 	}
 }
 
@@ -73,7 +122,7 @@ func TestAnalyzeEnvelopeAndCacheStats(t *testing.T) {
 	var resp analyzeResponse
 	for i := 0; i < 2; i++ {
 		rec := httptest.NewRecorder()
-		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analyze", bytes.NewReader(body)))
+		srv.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/analyze?stats=1", bytes.NewReader(body)))
 		if rec.Code != http.StatusOK {
 			t.Fatalf("status = %d, body %s", rec.Code, rec.Body)
 		}

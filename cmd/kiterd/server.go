@@ -213,25 +213,34 @@ type analyzeEnvelope struct {
 	NoCache    bool            `json:"noCache"`
 }
 
-// analyzeResponse is the /analyze reply: the analysis result plus a
-// telemetry snapshot taken after the submission, so every response carries
-// the serving cache hit-rate and latency counters. With ?trace=1 the reply
-// also carries the request's span tree and its trace-log request ID.
+// analyzeResponse is the /analyze reply: the analysis result, and nothing
+// else by default — a full engine.Stats snapshot costs a per-request
+// allocation walk over every cluster/tier/race-category counter and bloats
+// each response with telemetry that grows with the fleet, so it is opt-in
+// via ?stats=1 (GET /stats remains the zero-argument way to read it). With
+// ?trace=1 the reply also carries the request's span tree and its
+// trace-log request ID.
 type analyzeResponse struct {
 	Result    *engine.Result      `json:"result"`
-	Stats     engine.Stats        `json:"stats"`
+	Stats     *engine.Stats       `json:"stats,omitempty"`
 	RequestID string              `json:"requestId,omitempty"`
 	Trace     *telemetry.SpanNode `json:"trace,omitempty"`
 }
 
-// traceRequested reports whether the client asked for the span tree.
-func traceRequested(r *http.Request) bool {
-	switch r.URL.Query().Get("trace") {
+// boolParam reports whether a query parameter was set truthily.
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
 	case "1", "true", "yes":
 		return true
 	}
 	return false
 }
+
+// traceRequested reports whether the client asked for the span tree.
+func traceRequested(r *http.Request) bool { return boolParam(r, "trace") }
+
+// statsRequested reports whether the client asked for the stats snapshot.
+func statsRequested(r *http.Request) bool { return boolParam(r, "stats") }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -349,7 +358,11 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	resp := analyzeResponse{Result: res, Stats: s.e.Stats()}
+	resp := analyzeResponse{Result: res}
+	if statsRequested(r) {
+		st := s.e.Stats()
+		resp.Stats = &st
+	}
 	if node := finishTrace("ok"); node != nil && wantTrace {
 		resp.RequestID = reqID
 		resp.Trace = node
@@ -359,14 +372,19 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 // readBody reads a POST body under the server's size cap, writing the
 // 400/413 error response itself when the read fails or the cap is hit.
+// http.MaxBytesReader (not a hand-rolled LimitReader) does the capping so
+// an over-cap client's connection is also marked for close: the server
+// stops reading the rest of the body and signals Connection: close instead
+// of leaving an undrained stream on a keep-alive connection.
 func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", mbe.Limit)
+			return nil, false
+		}
 		httpError(w, http.StatusBadRequest, "reading body: %v", err)
-		return nil, false
-	}
-	if int64(len(body)) > s.maxBody {
-		httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", s.maxBody)
 		return nil, false
 	}
 	return body, true
@@ -383,20 +401,20 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if s.draining.Load() {
 			// Draining flips readiness first so load balancers stop routing
 			// new traffic here while in-flight requests finish.
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+			writeJSONIndent(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 			return
 		}
 		if !s.ready.Load() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+			writeJSONIndent(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		writeJSONIndent(w, http.StatusOK, map[string]any{
 			"status":  "ready",
 			"workers": s.e.Stats().Workers,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSONIndent(w, http.StatusOK, map[string]any{
 		"status":  "ok",
 		"workers": s.e.Stats().Workers,
 	})
@@ -417,10 +435,22 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st := s.admission.Stats()
 		resp.Admission = &st
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONIndent(w, http.StatusOK, resp)
 }
 
+// writeJSON writes a compact JSON response — the hot-path encoder behind
+// /analyze, /cluster/evaluate and every error reply. Indentation roughly
+// doubles the bytes (and encoder work) of an /analyze result, so pretty
+// printing is reserved for the human-facing endpoints via writeJSONIndent.
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONIndent pretty-prints for endpoints read by humans (/stats,
+// /healthz), where a curl without jq should still be legible.
+func writeJSONIndent(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)

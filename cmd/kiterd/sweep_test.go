@@ -155,7 +155,9 @@ func TestSweepRejectsBadRequests(t *testing.T) {
 }
 
 // TestOversizedBodies lowers the server's body cap and checks both POST
-// endpoints shed with 413 instead of reading an unbounded body.
+// endpoints shed with 413 instead of reading an unbounded body. The cap is
+// enforced by http.MaxBytesReader, so the over-cap read stops mid-body and
+// the response carries the byte limit from the *http.MaxBytesError.
 func TestOversizedBodies(t *testing.T) {
 	srv := newTestServer(t)
 	srv.maxBody = 256
@@ -166,6 +168,34 @@ func TestOversizedBodies(t *testing.T) {
 		if rec.Code != http.StatusRequestEntityTooLarge {
 			t.Errorf("%s: status = %d, want 413", path, rec.Code)
 		}
+		if !strings.Contains(rec.Body.String(), "256") {
+			t.Errorf("%s: 413 body does not name the limit: %s", path, rec.Body)
+		}
+	}
+}
+
+// TestReadBodyMaxBytesError pins readBody's error mapping: an over-cap
+// body surfaces as *http.MaxBytesError → 413 (not a generic 400), and a
+// body exactly at the cap is read in full.
+func TestReadBodyMaxBytesError(t *testing.T) {
+	srv := newTestServer(t)
+	srv.maxBody = 64
+
+	rec := httptest.NewRecorder()
+	r := httptest.NewRequest(http.MethodPost, "/analyze", strings.NewReader(strings.Repeat("a", 65)))
+	if _, ok := srv.readBody(rec, r); ok {
+		t.Fatal("over-cap body accepted")
+	}
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", rec.Code)
+	}
+
+	// Exactly at the cap: MaxBytesReader(n) admits n bytes.
+	rec = httptest.NewRecorder()
+	r = httptest.NewRequest(http.MethodPost, "/analyze", strings.NewReader(strings.Repeat("a", 64)))
+	body, ok := srv.readBody(rec, r)
+	if !ok || len(body) != 64 {
+		t.Fatalf("at-cap body rejected: ok=%v len=%d (status %d)", ok, len(body), rec.Code)
 	}
 }
 

@@ -24,7 +24,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -69,7 +71,16 @@ type Config struct {
 	// retry; the actual sleep is jittered to [base/2, 3*base/2) so
 	// synchronized failures do not retry in lockstep (default 25ms).
 	RetryBackoff time.Duration
-	// Client overrides the forwarding HTTP client (tests).
+	// Workers sizes the forwarding transport's per-peer connection pool:
+	// the engine can have up to Workers evaluations in flight, and under a
+	// sweep most of them forward to the same owner replica, so the
+	// transport keeps that many idle connections per host instead of
+	// net/http's DefaultTransport 2 (which churns a dial + TIME_WAIT per
+	// request past 2 concurrent forwards). Zero defaults to GOMAXPROCS,
+	// matching the engine's own worker default.
+	Workers int
+	// Client overrides the forwarding HTTP client (tests). When nil, a
+	// client over a dedicated transport sized by Workers is built.
 	Client *http.Client
 	// Metrics, when non-nil, registers the cluster's forward-RTT histogram
 	// (kiter_cluster_forward_seconds, labeled by peer and outcome).
@@ -96,9 +107,39 @@ func (cfg Config) withDefaults() Config {
 		cfg.RetryBackoff = 25 * time.Millisecond
 	}
 	if cfg.Client == nil {
-		cfg.Client = &http.Client{}
+		cfg.Client = &http.Client{Transport: newTransport(cfg.Workers, len(cfg.Peers))}
 	}
 	return cfg
+}
+
+// newTransport builds the forwarding transport. Sizing is the point: a
+// bare http.Client inherits DefaultTransport's MaxIdleConnsPerHost of 2,
+// so a worker pool forwarding W concurrent evaluations to one owner
+// replica dials W connections, keeps 2, and closes the rest into
+// TIME_WAIT — per round. Holding ~Workers idle connections per peer makes
+// steady-state forwarding dial-free.
+func newTransport(workers, peers int) *http.Transport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perHost := workers
+	if perHost < 4 {
+		perHost = 4
+	}
+	if peers < 1 {
+		peers = 1
+	}
+	return &http.Transport{
+		DialContext: (&net.Dialer{
+			Timeout:   5 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          perHost * peers,
+		MaxIdleConnsPerHost:   perHost,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   5 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	}
 }
 
 // peerState is one peer's health and telemetry. Health is the breaker's

@@ -1,0 +1,78 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"kiter/internal/gen"
+)
+
+// TestRunEmitErrorHandoff pins the emitErr handoff contract in Runner.Run:
+// the SubmitFamily completion callback *writes* emitErr (and cancels the
+// family) from whatever goroutine delivers completions, and Run *reads* it
+// after SubmitFamily returns. That is only race-free because SubmitFamily
+// serializes its callbacks and establishes a happens-before between the
+// last callback and its own return — a contract this test makes explicit
+// (run it under -race; CI always does) instead of leaving it as a comment.
+//
+// The sweep is wide (Width 8 over a ≥60-scenario family) and the emit
+// failure is injected mid-stream, so plenty of in-flight scenarios are
+// still completing — and draining through the callback — while Run is on
+// its way to the emitErr read.
+func TestRunEmitErrorHandoff(t *testing.T) {
+	e := newTestEngine(t)
+	sentinel := errors.New("client disconnected")
+
+	for round := 0; round < 5; round++ {
+		x := mustCompile(t, VideoPipelineSpec(8, 8))
+		r := Runner{Engine: e, Width: 8}
+
+		var emitted, afterErr atomic.Int64
+		env, err := r.Run(context.Background(), x, func(p Point) error {
+			if emitted.Add(1) == 3 {
+				return sentinel
+			}
+			// The runner must never invoke emit again after it returned an
+			// error: the client is gone, remaining points drain silently.
+			if emitted.Load() > 3 {
+				afterErr.Add(1)
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("round %d: err = %v, want the emit error", round, err)
+		}
+		if env != nil {
+			t.Fatalf("round %d: envelope produced for an aborted sweep", round)
+		}
+		if n := afterErr.Load(); n != 0 {
+			t.Fatalf("round %d: emit invoked %d times after it failed", round, n)
+		}
+	}
+}
+
+// TestRunEmitErrorFirstPoint hits the handoff at the earliest possible
+// moment — the very first completion fails the stream while the rest of
+// the family is still being submitted — the worst case for the
+// cancel-while-submitting path.
+func TestRunEmitErrorFirstPoint(t *testing.T) {
+	e := newTestEngine(t)
+	sentinel := errors.New("gone immediately")
+	x := mustCompile(t, &Spec{
+		Base:   GraphJSON(gen.TwoTaskChain(3, 4)),
+		Method: "kiter",
+		Parameters: []Param{
+			{Name: "dA", Target: Target{Kind: "duration", Task: "A"}, Range: &Range{From: 1, To: 64}},
+		},
+	})
+	r := Runner{Engine: e, Width: 4}
+	env, err := r.Run(context.Background(), x, func(Point) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the emit error", err)
+	}
+	if env != nil {
+		t.Fatal("envelope produced for an aborted sweep")
+	}
+}

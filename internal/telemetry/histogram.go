@@ -49,6 +49,14 @@ type Histogram struct {
 	sumBits    atomic.Uint64 // float64 bits of the running sum
 }
 
+// NewHistogram returns a standalone histogram outside any Registry, with
+// the given ascending bucket bounds (nil → LatencyBuckets). Clients like
+// cmd/kiterbench use it to reuse the log-linear layout, merge and quantile
+// estimator for their own aggregation without Prometheus exposition.
+func NewHistogram(name string, bounds []float64) *Histogram {
+	return newHistogram(name, "", bounds)
+}
+
 func newHistogram(name, help string, bounds []float64) *Histogram {
 	if len(bounds) == 0 {
 		bounds = LatencyBuckets
