@@ -59,9 +59,16 @@ func main() {
 		out      = flag.String("o", "bench.json", "output path (checked-in reports are written explicitly, e.g. -o BENCH_pr3.json)")
 		baseline = flag.String("baseline", "", "previous BENCH_*.json whose after-numbers become this report's before-numbers")
 		label    = flag.String("label", "kiter-hot-path", "report label")
+		codec    = flag.Bool("codec", false, "measure the result codec instead: JSON-vs-binary record size and encode/decode ns/op on real analysis results")
 	)
 	flag.Parse()
-	if err := run(*out, *baseline, *label); err != nil {
+	var err error
+	if *codec {
+		err = runCodec(*out, *label)
+	} else {
+		err = run(*out, *baseline, *label)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

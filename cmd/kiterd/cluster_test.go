@@ -15,13 +15,13 @@ import (
 )
 
 func TestBuildCluster(t *testing.T) {
-	if cl, err := buildCluster("", "", ":8080", 0, time.Minute, 0, nil); err != nil || cl != nil {
+	if cl, err := buildCluster("", "", ":8080", 0, time.Minute, 0, 0, nil); err != nil || cl != nil {
 		t.Fatalf("no -peers should mean no cluster: %v, %v", cl, err)
 	}
-	if _, err := buildCluster(" , ", "", ":8080", 0, time.Minute, 0, nil); err == nil {
+	if _, err := buildCluster(" , ", "", ":8080", 0, time.Minute, 0, 0, nil); err == nil {
 		t.Fatal("blank -peers accepted")
 	}
-	cl, err := buildCluster("127.0.0.1:9101, 127.0.0.1:9102", "", ":9100", 0, time.Minute, 0, nil)
+	cl, err := buildCluster("127.0.0.1:9101, 127.0.0.1:9102", "", ":9100", 0, time.Minute, 0, 0, nil)
 	if err != nil {
 		t.Fatalf("buildCluster: %v", err)
 	}
@@ -49,7 +49,7 @@ func TestClusteredServersEndToEnd(t *testing.T) {
 	addrA, addrB := lnA.Addr().String(), lnB.Addr().String()
 
 	start := func(self, peer string, ln net.Listener) (*engine.Engine, *cluster.Cluster) {
-		cl, err := buildCluster(peer, self, self, time.Minute, time.Minute, 0, nil)
+		cl, err := buildCluster(peer, self, self, time.Minute, time.Minute, 0, 0, nil)
 		if err != nil {
 			t.Fatalf("buildCluster(%s): %v", self, err)
 		}
@@ -101,6 +101,101 @@ func TestClusteredServersEndToEnd(t *testing.T) {
 	moved := stats.RemoteResults + stats.Cluster[0].Served
 	if sB := engB.Stats(); moved == 0 && sB.RemoteResults == 0 {
 		t.Fatalf("no cross-replica traffic recorded: A=%+v B=%+v", stats.Cluster, sB.Cluster)
+	}
+}
+
+// TestFleetCacheServersEndToEnd wires three full kiterd servers the way
+// main assembles them with -cache-fleet and -claim-lease — explicit local
+// memory tier handed to the cluster, fleet tier composed behind it, claims
+// enabled — and checks the shared result space over the public API: one
+// evaluation fleet-wide, and /stats reporting the fleet tier.
+func TestFleetCacheServersEndToEnd(t *testing.T) {
+	lns := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	peersOf := func(self string) string {
+		var out string
+		for _, a := range addrs {
+			if a != self {
+				if out != "" {
+					out += ","
+				}
+				out += a
+			}
+		}
+		return out
+	}
+	engines := make([]*engine.Engine, 3)
+	for i, ln := range lns {
+		self := addrs[i]
+		cl, err := buildCluster(peersOf(self), self, self, time.Minute, time.Minute, 0, 2*time.Second, nil)
+		if err != nil {
+			t.Fatalf("buildCluster(%s): %v", self, err)
+		}
+		local := engine.NewMemoryCache(16, 4096)
+		cl.SetLocalCache(local)
+		e := engine.New(engine.Config{
+			Workers:      2,
+			CacheBackend: engine.NewTieredCache(local, cluster.NewRemoteCache(cl)),
+			Dispatcher:   cl,
+			Claims:       cl,
+		})
+		hs := &http.Server{Handler: newServer(e, testTemplate(), cl, observability{})}
+		go hs.Serve(ln)
+		t.Cleanup(func() { hs.Close(); e.Close(); cl.Close() })
+		engines[i] = e
+	}
+
+	body := graphBody(t)
+	for _, target := range addrs {
+		resp, err := http.Post("http://"+target+"/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /analyze via %s: %v", target, err)
+		}
+		var reply struct {
+			Result *engine.Result `json:"result"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&reply)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze via %s: status %d, err %v", target, resp.StatusCode, err)
+		}
+		if reply.Result.Throughput == nil || !reply.Result.Throughput.Optimal {
+			t.Fatalf("analyze via %s: %+v", target, reply.Result)
+		}
+	}
+	var evals uint64
+	for _, e := range engines {
+		evals += e.Stats().Evaluations
+	}
+	if evals != 1 {
+		t.Fatalf("fleet evaluations = %d, want 1 (shared result space)", evals)
+	}
+
+	// /stats on any replica reports the fleet tier alongside memory.
+	resp, err := http.Get("http://" + addrs[0] + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats engine.Stats
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := map[string]bool{}
+	for _, ts := range stats.CacheTiers {
+		tiers[ts.Tier] = true
+	}
+	if !tiers["memory"] || !tiers["fleet"] {
+		t.Fatalf("stats.CacheTiers = %+v, want memory and fleet tiers", stats.CacheTiers)
 	}
 }
 

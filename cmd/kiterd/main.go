@@ -65,6 +65,23 @@
 //
 //	kiterd -addr 127.0.0.1:9101 -peers 127.0.0.1:9102,127.0.0.1:9103
 //
+// Clustered replicas also share one result space. -cache-fleet composes a
+// fleet cache tier behind the local memory→disk tiers: a miss is answered
+// from the key's ring owner over POST /cluster/cache/get (a cold replica
+// warm-starts from its peers, including its own shard via the ring
+// successor), and every local evaluation is published to its owner.
+// -claim-lease (default 30s, 0 disables) extends singleflight across
+// processes: before evaluating, a replica claims the key at its ring owner
+// over POST /cluster/claim, so duplicate submissions through different
+// replicas cost exactly one evaluation even with caching off; a crashed
+// holder's lease expires and the key is re-claimed. All of it rides the
+// binary result codec (internal/resultcodec) — the same frames the disk
+// cache stores — and degrades to local tiers and local solves behind the
+// per-peer circuit breakers:
+//
+//	kiterd -addr 127.0.0.1:9101 -peers 127.0.0.1:9102,127.0.0.1:9103 \
+//	       -cache-fleet -claim-lease 30s
+//
 // HTTP mode drains on SIGTERM/SIGINT: readiness flips to 503 and new
 // submissions are refused (503 + Retry-After) while in-flight requests —
 // streaming sweeps included — get -drain-timeout to finish; then the disk
@@ -83,6 +100,7 @@
 //	kiterd [-addr :8080] [-workers N] [-cache N] [-method race]
 //	       [-cache-dir dir] [-cache-disk-bytes N] [-capacities]
 //	       [-peers host:port,…] [-self host:port] [-forward-timeout 0]
+//	       [-cache-fleet] [-claim-lease 30s]
 //	       [-analyses throughput] [-timeout 60s] [-stats-out stats.json]
 //	       [-drain-timeout 30s] [-chaos spec]
 //	       [-batch dir-or-manifest] [-sweep spec.json]
@@ -146,6 +164,8 @@ func run() error {
 		peers          = flag.String("peers", "", "comma-separated peer replica addresses (host:port); jobs are consistently hashed across self+peers and forwarded to their owner")
 		selfAddr       = flag.String("self", "", "advertised cluster address of this replica (default: derived from -addr); every replica must list it under exactly this string")
 		forwardTimeout = flag.Duration("forward-timeout", 0, "per-job cluster forward budget before local fallback (0 = -timeout)")
+		cacheFleet     = flag.Bool("cache-fleet", false, "compose a fleet cache tier behind the local tiers: misses are answered from the key's ring owner over /cluster/cache and local results are published to their owner, so cold replicas warm-start from the fleet (requires -peers)")
+		claimLease     = flag.Duration("claim-lease", 30*time.Second, "cross-process singleflight lease: before evaluating, claim the key at its ring owner so duplicate submissions through different replicas cost one evaluation; the lease bounds how long a crashed holder blocks a key (0 disables; only with -peers)")
 		traceLogPath   = flag.String("trace-log", "", "append every /analyze request's span tree as one NDJSON line to this file")
 		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "HTTP mode: budget for in-flight requests to finish after SIGTERM/SIGINT before connections are cut")
@@ -176,20 +196,46 @@ func run() error {
 	// their histograms into it at construction, and GET /metrics renders it.
 	reg := telemetry.NewRegistry()
 
-	backend, err := buildCacheBackend(*cacheDir, *cacheDiskBytes, *shards, *cacheSize)
-	if err != nil {
-		return err
-	}
-	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout, *workers, reg)
+	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout, *workers, *claimLease, reg)
 	if err != nil {
 		return err
 	}
 	var dispatcher engine.Dispatcher
+	var claims engine.Claimer
 	if cl != nil {
 		dispatcher = cl
+		if *claimLease > 0 {
+			claims = cl
+		}
 		// The cluster outlives the engine: in-flight dispatches finish
 		// during e.Close, then the prober stops.
 		defer cl.Close()
+	}
+	if *cacheFleet && cl == nil {
+		return fmt.Errorf("-cache-fleet requires -peers (the fleet tier reads from ring owners)")
+	}
+	// The local tiers (memory, plus disk with -cache-dir) are built
+	// explicitly when clustered: the cluster's cache handlers serve this
+	// replica's shard from them, and the fleet tier composes behind them.
+	local, err := buildCacheBackend(*cacheDir, *cacheDiskBytes, *shards, *cacheSize)
+	if err != nil {
+		return err
+	}
+	if cl != nil && local == nil {
+		capacity := *cacheSize
+		if capacity == 0 {
+			capacity = 4096
+		}
+		local = engine.NewMemoryCache(*shards, capacity)
+	}
+	backend := local
+	if cl != nil {
+		if local != nil {
+			cl.SetLocalCache(local)
+		}
+		if *cacheFleet {
+			backend = engine.NewTieredCache(local, cluster.NewRemoteCache(cl))
+		}
 	}
 	e := engine.New(engine.Config{
 		Workers:       *workers,
@@ -201,6 +247,7 @@ func run() error {
 		Options:       kperiodic.Options{MaxNodes: *maxNodes, MaxPairs: *maxPairs},
 		Symbolic:      symbexec.Options{MaxEvents: *symEvents},
 		Dispatcher:    dispatcher,
+		Claims:        claims,
 		Metrics:       reg,
 	})
 	defer e.Close()
@@ -298,7 +345,9 @@ func run() error {
 // to the name the peers dial, because addresses are ring identities.
 // workers (the -workers flag, 0 = GOMAXPROCS) sizes the forwarding
 // transport's per-peer connection pool to the engine's concurrency.
-func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration, workers int, reg *telemetry.Registry) (*cluster.Cluster, error) {
+// claimLease (the -claim-lease flag) enables the cross-process
+// singleflight claim client when positive.
+func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration, workers int, claimLease time.Duration, reg *telemetry.Registry) (*cluster.Cluster, error) {
 	if peers == "" {
 		return nil, nil
 	}
@@ -330,6 +379,7 @@ func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.
 		Peers:          list,
 		ForwardTimeout: forwardTimeout,
 		Workers:        workers,
+		ClaimLease:     claimLease,
 		Metrics:        reg,
 	})
 }

@@ -1,10 +1,17 @@
 // Package cachedisk is a dependency-free disk-backed result cache
 // implementing engine.CacheBackend. Results are appended to segment files
-// under a cache directory as CRC-checked, JSON-encoded records keyed by
-// the engine's fingerprint-derived cache keys; an in-memory index maps
-// each key to its newest record. Opening the same directory again rebuilds
-// the index from the segments, which is what lets a restarted (or
-// replicated, over shared storage) kiterd warm-start from prior runs.
+// under a cache directory as CRC-checked records keyed by the engine's
+// fingerprint-derived cache keys; an in-memory index maps each key to its
+// newest record. Opening the same directory again rebuilds the index from
+// the segments, which is what lets a restarted (or replicated, over shared
+// storage) kiterd warm-start from prior runs.
+//
+// Record payloads are resultcodec frames (segment format v2) — the same
+// binary encoding the cluster wire speaks, so a record written here and a
+// result fetched from a peer are the same bytes. Segments written by
+// pre-codec builds (format v1, JSON payloads) are still read: the segment
+// header's version selects the payload decoder, so a live kiterd upgrade
+// keeps its warm cache while all new appends land in v2 segments.
 //
 // Durability is deliberately best-effort: the store is a cache, never a
 // source of truth. Writes are not fsynced, corrupt records (truncation,
@@ -30,17 +37,20 @@ import (
 
 	"kiter/internal/engine"
 	"kiter/internal/faultinject"
+	"kiter/internal/resultcodec"
 )
 
 // Segment file layout: an 8-byte header (magic "KITC" + little-endian
 // uint32 format version), then records back to back. Each record is a
 // 12-byte header — uint32 key length, uint32 payload length, uint32
-// IEEE CRC over key+payload — followed by the key bytes and the JSON
-// payload. Records are immutable once written; a re-Put of a key appends
-// a new record and the index forgets the old one.
+// IEEE CRC over key+payload — followed by the key bytes and the payload
+// (a resultcodec frame in v2 segments, JSON in legacy v1 segments).
+// Records are immutable once written; a re-Put of a key appends a new
+// record and the index forgets the old one.
 const (
 	magic          = "KITC"
-	formatVersion  = 1
+	formatVersion  = 2
+	legacyVersion  = 1 // JSON payloads; still readable, never written
 	fileHeaderLen  = 8
 	recHeaderLen   = 12
 	maxKeyLen      = 1 << 20  // keys are fingerprint+knobs, well under this
@@ -93,10 +103,11 @@ type Store struct {
 }
 
 type segment struct {
-	id   int
-	path string
-	f    *os.File // read-only for loaded segments, read-write for the active one
-	size int64
+	id      int
+	path    string
+	f       *os.File // read-only for loaded segments, read-write for the active one
+	size    int64
+	version uint32 // payload format: formatVersion or legacyVersion
 }
 
 type recordRef struct {
@@ -206,11 +217,12 @@ func (s *Store) openSegment(id int, path string) (seg *segment, stale bool) {
 		f.Close()
 		return nil, false
 	}
-	if string(hdr[:4]) != magic || binary.LittleEndian.Uint32(hdr[4:]) != formatVersion {
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if string(hdr[:4]) != magic || (version != formatVersion && version != legacyVersion) {
 		f.Close()
 		return nil, true
 	}
-	seg = &segment{id: id, path: path, f: f}
+	seg = &segment{id: id, path: path, f: f, version: version}
 	// An unparseable tail (a torn final write) is excluded from the
 	// segment's logical size; since frozen segments take no appends, the
 	// dead bytes are merely carried until compaction drops the segment.
@@ -273,7 +285,7 @@ func (s *Store) rotateLocked() error {
 		os.Remove(path)
 		return fmt.Errorf("cachedisk: %w", err)
 	}
-	seg := &segment{id: s.nextID, path: path, f: f, size: fileHeaderLen}
+	seg := &segment{id: s.nextID, path: path, f: f, size: fileHeaderLen, version: formatVersion}
 	s.segs = append(s.segs, seg)
 	s.active = seg
 	s.total += fileHeaderLen
@@ -319,12 +331,25 @@ func (s *Store) Get(key string) (*engine.Result, bool) {
 		string(body[:ref.keyLen]) != key {
 		return s.drop(key, ref)
 	}
-	var res engine.Result
-	if err := json.Unmarshal(body[ref.keyLen:], &res); err != nil {
-		return s.drop(key, ref)
+	// The segment's header version picks the payload decoder: current
+	// segments hold resultcodec frames, legacy v1 segments hold JSON. A
+	// payload that passes the record CRC but fails its own decode (e.g. a
+	// v1 record in a mislabelled segment) degrades to a miss like any
+	// other corruption.
+	var res *engine.Result
+	if ref.seg.version == legacyVersion {
+		res = new(engine.Result)
+		if err := json.Unmarshal(body[ref.keyLen:], res); err != nil {
+			return s.drop(key, ref)
+		}
+	} else {
+		var err error
+		if res, err = resultcodec.Decode(body[ref.keyLen:]); err != nil {
+			return s.drop(key, ref)
+		}
 	}
 	s.hits.Add(1)
-	return &res, true
+	return res, true
 }
 
 // drop forgets a record that failed read-time verification — unless a
@@ -359,10 +384,14 @@ func (s *Store) Put(key string, res *engine.Result) {
 	if faultinject.Fire(faultinject.PointCachePut) != nil {
 		return
 	}
-	payload, err := json.Marshal(res)
-	if err != nil || len(payload) > maxPayloadLen {
+	// Size the payload before encoding it: an over-quota record is
+	// rejected without paying for the (potentially multi-megabyte)
+	// allocation it would have produced.
+	payloadLen := resultcodec.EncodedSize(res)
+	if payloadLen > maxPayloadLen {
 		return
 	}
+	payload := resultcodec.Encode(res)
 	rec := make([]byte, recHeaderLen+len(key)+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(key)))
 	binary.LittleEndian.PutUint32(rec[4:], uint32(len(payload)))

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"kiter/internal/engine"
+	"kiter/internal/faultinject"
+	"kiter/internal/resultcodec"
+)
+
+// The claim subsystem is cross-process singleflight: before evaluating a
+// key, a replica claims it at the key's ring owner. The owner's claim
+// table leases each key to exactly one holder at a time, so duplicate
+// submissions arriving at different replicas — even with forwarding off
+// and every local memo cache disabled — collapse to one evaluation: the
+// first claimant solves and publishes through the owner, and everyone
+// else is served the published result.
+//
+// Leases make the protocol crash-safe: a holder that dies mid-solve lets
+// its lease expire, after which the next claimant is granted the key and
+// solves it. The table doubles as a short-retention publish buffer —
+// published results are kept for one retention window — which is what
+// answers claim waiters on replicas that run with no cache at all. Every
+// failure path on the client side degrades to (nil, nil): the engine then
+// evaluates locally, trading lost dedup for availability.
+
+// claimEntry is one key's claim state at its owner: a held lease
+// (holder set, res nil) or a published result (holder empty, res set).
+type claimEntry struct {
+	holder  string
+	expires time.Time // lease expiry while held; retention expiry once published
+	res     *engine.Result
+}
+
+// claimTable is the owner-side lease/publish map. Bounded: past
+// claimTableCap live rows, expired ones are swept, and if the table is
+// still full new claims are granted untracked — duplicates of those keys
+// may double-solve until pressure passes, which is availability over
+// dedup, never unbounded memory.
+type claimTable struct {
+	mu      sync.Mutex
+	entries map[string]*claimEntry
+}
+
+const claimTableCap = 8192
+
+func (t *claimTable) init() { t.entries = make(map[string]*claimEntry) }
+
+func (t *claimTable) sweepLocked(now time.Time) {
+	for k, e := range t.entries {
+		if now.After(e.expires) {
+			delete(t.entries, k)
+		}
+	}
+}
+
+// claim attempts to take key's lease for holder. Exactly one of three
+// outcomes: the published result, granted=true (holder must evaluate), or
+// heldFor — the current holder's remaining lease.
+func (t *claimTable) claim(key, holder string, lease time.Duration) (res *engine.Result, granted bool, heldFor time.Duration) {
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e != nil && e.res != nil && !now.After(e.expires) {
+		return e.res, false, 0
+	}
+	if e != nil && e.res == nil && e.holder != "" && e.holder != holder && now.Before(e.expires) {
+		return nil, false, e.expires.Sub(now)
+	}
+	// Free, expired, stale-published, or re-claimed by its own holder.
+	if e == nil {
+		if len(t.entries) >= claimTableCap {
+			t.sweepLocked(now)
+		}
+		if len(t.entries) >= claimTableCap {
+			return nil, true, 0
+		}
+		e = &claimEntry{}
+		t.entries[key] = e
+	}
+	e.holder = holder
+	e.res = nil
+	e.expires = now.Add(lease)
+	return nil, true, 0
+}
+
+// publish buffers a completed result under key, completing any open claim.
+func (t *claimTable) publish(key string, res *engine.Result, retention time.Duration) {
+	if res == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := t.entries[key]
+	if e == nil {
+		if len(t.entries) >= claimTableCap {
+			t.sweepLocked(now)
+		}
+		if len(t.entries) >= claimTableCap {
+			return
+		}
+		e = &claimEntry{}
+		t.entries[key] = e
+	}
+	e.holder = ""
+	e.res = res
+	e.expires = now.Add(retention)
+}
+
+// release frees key if holder still holds it — an evaluation that failed
+// or was cancelled must not make the next claimant wait out the lease.
+func (t *claimTable) release(key, holder string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[key]; e != nil && e.res == nil && e.holder == holder {
+		delete(t.entries, key)
+	}
+}
+
+// published returns the buffered result for key, if any.
+func (t *claimTable) published(key string) *engine.Result {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e := t.entries[key]; e != nil && e.res != nil && !time.Now().After(e.expires) {
+		return e.res
+	}
+	return nil
+}
+
+// claimRequest is the body of POST /cluster/claim.
+type claimRequest struct {
+	Key    string `json:"key"`
+	Holder string `json:"holder"`
+	// Release frees the claim instead of taking it.
+	Release bool `json:"release,omitempty"`
+}
+
+// claimReply is the handler's response: "granted" (caller holds the lease
+// and must evaluate), "done" (a published result is ready on
+// /cluster/cache/get), or "held" (another replica is evaluating — poll
+// the publish buffer, re-claim after RetryAfterMS).
+type claimReply struct {
+	Status       string `json:"status"`
+	RetryAfterMS int64  `json:"retryAfterMs,omitempty"`
+}
+
+// ClaimHandler serves POST /cluster/claim: the owner side of the
+// cross-process singleflight protocol.
+func (c *Cluster) ClaimHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		var cr claimRequest
+		if err := json.Unmarshal(body, &cr); err != nil || cr.Key == "" || cr.Holder == "" {
+			writeError(w, http.StatusBadRequest, "claim requires key and holder")
+			return
+		}
+		if cr.Release {
+			c.claims.release(cr.Key, cr.Holder)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		res, granted, heldFor := c.claims.claim(cr.Key, cr.Holder, c.claimLease())
+		reply := claimReply{Status: "held", RetryAfterMS: heldFor.Milliseconds()}
+		switch {
+		case res != nil:
+			reply = claimReply{Status: "done"}
+		case granted:
+			reply = claimReply{Status: "granted"}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(reply)
+	})
+}
+
+func (c *Cluster) claimLease() time.Duration {
+	if c.cfg.ClaimLease > 0 {
+		return c.cfg.ClaimLease
+	}
+	return 30 * time.Second
+}
+
+// claimRetention is how long published results stay in the claim buffer:
+// one lease window — long enough for every claimant that raced on the key
+// to collect the result, short enough that the buffer never becomes a
+// cache (the cache tiers are the cache).
+func (c *Cluster) claimRetention() time.Duration { return c.claimLease() }
+
+func (c *Cluster) claimPoll() time.Duration {
+	if c.cfg.ClaimPoll > 0 {
+		return c.cfg.ClaimPoll
+	}
+	return 25 * time.Millisecond
+}
+
+// Claim implements engine.Claimer (see that interface for the contract).
+// Keys this replica owns are claimed against its own table in-process;
+// everything else goes to the owner over /cluster/claim, breaker-guarded.
+// Denied claims poll the owner's publish buffer while the holder solves,
+// re-claiming when the holder's lease runs out, for at most two lease
+// windows; any error at any step degrades to (nil, nil) — a plain local
+// evaluation.
+func (c *Cluster) Claim(ctx context.Context, key, fingerprint string) (*engine.Result, func(*engine.Result)) {
+	if c.cfg.ClaimLease <= 0 {
+		return nil, nil
+	}
+	owner := c.Owner(fingerprint)
+	if owner == c.self {
+		return c.claimLocal(ctx, key)
+	}
+	ps := c.peer(owner)
+	if ps == nil {
+		return nil, nil
+	}
+	deadline := time.Now().Add(2 * c.claimLease())
+	for {
+		if ctx.Err() != nil || !ps.breaker.Allow() {
+			return nil, nil
+		}
+		// Chaos seam: like the fleet cache tier, claims sever with the
+		// "dispatch.forward" point and the engine solves locally.
+		if faultinject.Fire(faultinject.PointForward) != nil {
+			return nil, nil
+		}
+		reply, err := c.claimCall(ctx, owner, claimRequest{Key: key, Holder: c.self})
+		if err != nil {
+			c.noteForwardFailure(ps)
+			return nil, nil
+		}
+		ps.breaker.Success()
+		switch reply.Status {
+		case "granted":
+			return nil, c.remoteRelease(owner, key)
+		case "done":
+			if res, ok, err := c.claimFetch(owner, key); err == nil && ok {
+				return res, nil
+			}
+			// Published at the owner but unfetchable: solve locally rather
+			// than loop against a wedged owner.
+			return nil, nil
+		case "held":
+		default:
+			return nil, nil
+		}
+		// Poll the publish buffer until the holder's lease runs out, then
+		// loop back to re-claim (picking up an expired holder's key).
+		reclaimAt := time.Now().Add(max(time.Duration(reply.RetryAfterMS)*time.Millisecond, c.claimPoll()))
+		for time.Now().Before(reclaimAt) {
+			if time.Now().After(deadline) || !sleepCtx(ctx, c.claimPoll()) {
+				return nil, nil
+			}
+			res, ok, err := c.claimFetch(owner, key)
+			if err != nil {
+				c.noteForwardFailure(ps)
+				return nil, nil
+			}
+			ps.breaker.Success()
+			if ok {
+				return res, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return nil, nil
+		}
+	}
+}
+
+// claimFetch reads the owner's cache/publish buffer once.
+func (c *Cluster) claimFetch(owner, key string) (*engine.Result, bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+owner+"/cluster/cache/get", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set(cacheKeyHeader, key)
+	req.Header.Set(peerHeader, c.self)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, false, fmt.Errorf("cluster: claim fetch from %s: %s: %s", owner, resp.Status, firstLine(body))
+	}
+	frame, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheBody+1))
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := decodeBinaryResult(frame, owner)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, true, nil
+}
+
+// claimCall runs one claim round trip.
+func (c *Cluster) claimCall(ctx context.Context, owner string, cr claimRequest) (*claimReply, error) {
+	body, err := json.Marshal(cr)
+	if err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.opTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost,
+		"http://"+owner+"/cluster/claim", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(peerHeader, c.self)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	reply, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: claim at %s: %s: %s", owner, resp.Status, firstLine(reply))
+	}
+	var out claimReply
+	if err := json.Unmarshal(reply, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// remoteRelease builds the release callback for a granted remote claim.
+// The engine calls it exactly once after its evaluation: with the result,
+// the publish rides the cache-put path, which completes the claim at the
+// owner; with nil, an explicit release frees the lease immediately. Both
+// run asynchronously — the worker that just finished a solve must not
+// block on fleet I/O. When the fleet cache tier is wired, the engine's
+// write-through Put already publishes the result, so the success path
+// skips the duplicate push (and a put dropped under pressure is backed
+// up by lease expiry).
+func (c *Cluster) remoteRelease(owner, key string) func(*engine.Result) {
+	return func(res *engine.Result) {
+		go func() {
+			switch {
+			case res == nil:
+				if body, err := json.Marshal(claimRequest{Key: key, Holder: c.self, Release: true}); err == nil {
+					ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout())
+					defer cancel()
+					req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+						"http://"+owner+"/cluster/claim", bytes.NewReader(body))
+					if err != nil {
+						return
+					}
+					req.Header.Set("Content-Type", "application/json")
+					req.Header.Set(peerHeader, c.self)
+					if resp, err := c.cfg.Client.Do(req); err == nil {
+						io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+						resp.Body.Close()
+					}
+				}
+			case c.remoteTier.Load():
+				// The fleet tier's write-through publish is in flight.
+			case resultcodec.EncodedSize(res) <= maxCacheBody:
+				_ = c.cachePush(owner, key, resultcodec.Encode(res))
+			}
+		}()
+	}
+}
+
+// claimLocal claims a self-owned key against the local table, so remote
+// claimants and local submissions racing on this owner serialize through
+// the same leases.
+func (c *Cluster) claimLocal(ctx context.Context, key string) (*engine.Result, func(*engine.Result)) {
+	deadline := time.Now().Add(2 * c.claimLease())
+	for {
+		res, granted, _ := c.claims.claim(key, c.self, c.claimLease())
+		if res != nil {
+			return res, nil
+		}
+		if granted {
+			return nil, func(r *engine.Result) {
+				if r == nil {
+					c.claims.release(key, c.self)
+					return
+				}
+				c.claims.publish(key, r, c.claimRetention())
+			}
+		}
+		// Held by a remote claimant evaluating our key: wait for its
+		// publish or lease expiry. (The in-process flightGroup already
+		// serialized local duplicates, so contention here is remote.)
+		if time.Now().After(deadline) || !sleepCtx(ctx, c.claimPoll()) {
+			return nil, nil
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,15 @@ type Config struct {
 	// request past 2 concurrent forwards). Zero defaults to GOMAXPROCS,
 	// matching the engine's own worker default.
 	Workers int
+	// ClaimLease enables cross-process singleflight when positive: every
+	// leader job claims its cache key at the key's ring owner before
+	// evaluating, and a claim is held for this lease (a crashed holder's
+	// key frees itself on expiry). Zero/negative disables claims — the
+	// Cluster still serves /cluster/claim for peers that have them on.
+	ClaimLease time.Duration
+	// ClaimPoll is the interval at which a denied claimant polls the
+	// owner's publish buffer for the holder's result (default 25ms).
+	ClaimPoll time.Duration
 	// Client overrides the forwarding HTTP client (tests). When nil, a
 	// client over a dedicated transport sized by Workers is built.
 	Client *http.Client
@@ -177,6 +187,17 @@ type Cluster struct {
 	// peer and outcome (ok / error). Nil when Config.Metrics was nil.
 	forwardRTT *telemetry.HistogramVec
 
+	// claims is the owner-side lease/publish table behind /cluster/claim
+	// and the fleet cache tier's publish buffer.
+	claims claimTable
+	// localCache is the backend the cache handlers serve from — the
+	// replica's local tiers, set via SetLocalCache (never the fleet tier,
+	// which would recurse).
+	localCache atomic.Pointer[engine.CacheBackend]
+	// remoteTier records that a RemoteCache rides this cluster, letting a
+	// held claim's release skip the publish the tier already performs.
+	remoteTier atomic.Bool
+
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
@@ -207,6 +228,7 @@ func New(cfg Config) (*Cluster, error) {
 		peers: make(map[string]*peerState),
 		stop:  make(chan struct{}),
 	}
+	c.claims.init()
 	if cfg.Metrics != nil {
 		c.forwardRTT = cfg.Metrics.HistogramVec("kiter_cluster_forward_seconds",
 			"Round-trip time of one forwarded evaluation, in seconds.",
@@ -377,6 +399,9 @@ func (c *Cluster) forward(ctx context.Context, owner string, job *engine.Dispatc
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Negotiate the binary result codec; older peers ignore Accept and
+	// answer JSON, which stays understood (version-skew tolerance).
+	req.Header.Set("Accept", resultContentType)
 	req.Header.Set(peerHeader, c.self)
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
@@ -390,7 +415,12 @@ func (c *Cluster) forward(ctx context.Context, owner string, job *engine.Dispatc
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("cluster: peer %s: %s: %s", owner, resp.Status, firstLine(reply))
 	}
-	res, err := decodeResult(reply, owner)
+	var res *engine.Result
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), resultContentType) {
+		res, err = decodeBinaryResult(reply, owner)
+	} else {
+		res, err = decodeResult(reply, owner)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,346 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"kiter/internal/engine"
+	"kiter/internal/faultinject"
+	"kiter/internal/gen"
+)
+
+// The fleet tier and the claim client are engine backends/seams.
+var (
+	_ engine.CacheBackend = (*RemoteCache)(nil)
+	_ engine.TierStatser  = (*RemoteCache)(nil)
+	_ engine.Claimer      = (*Cluster)(nil)
+)
+
+// cacheFleetOpts tunes one startCacheFleet replica.
+type cacheFleetOpts struct {
+	// fleetTier composes a RemoteCache behind the local memory tier.
+	fleetTier bool
+	// dispatch wires the cluster as the engine's Dispatcher.
+	dispatch bool
+	// claimLease enables cross-process claims at this lease (0 = off).
+	claimLease time.Duration
+	// noLocalCache disables the engine's local memo cache entirely.
+	noLocalCache bool
+}
+
+// startCacheReplica boots one replica with the full PR 9 surface mounted:
+// evaluate, cache get/put, claim, healthz — the in-process mirror of
+// kiterd's cluster wiring.
+func startCacheReplica(t *testing.T, ln net.Listener, peers []string, opts cacheFleetOpts) *replica {
+	t.Helper()
+	addr := ln.Addr().String()
+	cl, err := New(Config{
+		Self:             addr,
+		Peers:            peers,
+		ForwardTimeout:   10 * time.Second,
+		ProbeInterval:    20 * time.Millisecond,
+		MaxProbeInterval: 100 * time.Millisecond,
+		ClaimLease:       opts.claimLease,
+		ClaimPoll:        2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("cluster.New(%s): %v", addr, err)
+	}
+	ecfg := engine.Config{Workers: 2}
+	if opts.dispatch {
+		ecfg.Dispatcher = cl
+	}
+	if opts.claimLease > 0 {
+		ecfg.Claims = cl
+	}
+	if opts.noLocalCache {
+		ecfg.CacheCapacity = -1
+	}
+	if opts.fleetTier {
+		local := engine.NewMemoryCache(16, 4096)
+		cl.SetLocalCache(local)
+		ecfg.CacheBackend = engine.NewTieredCache(local, NewRemoteCache(cl))
+	} else {
+		cl.SetLocalCache(engine.NewMemoryCache(16, 4096))
+	}
+	eng := engine.New(ecfg)
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/evaluate", cl.EvaluateHandler(eng, 30*time.Second))
+	mux.Handle("/cluster/cache/get", cl.CacheGetHandler())
+	mux.Handle("/cluster/cache/put", cl.CachePutHandler())
+	mux.Handle("/cluster/claim", cl.ClaimHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	r := &replica{addr: addr, eng: eng, cl: cl, srv: srv}
+	t.Cleanup(func() {
+		r.srv.Close()
+		r.eng.Close()
+		r.cl.Close()
+	})
+	return r
+}
+
+// startCacheFleet boots n identically-configured replicas clustered with
+// each other.
+func startCacheFleet(t *testing.T, n int, opts cacheFleetOpts) []*replica {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	reps := make([]*replica, n)
+	for i := range reps {
+		reps[i] = startCacheReplica(t, lns[i], addrs, opts)
+	}
+	return reps
+}
+
+// fleetTierStats returns the named tier's stats row from an engine.
+func tierStats(t *testing.T, e *engine.Engine, tier string) engine.CacheTierStats {
+	t.Helper()
+	for _, ts := range e.Stats().CacheTiers {
+		if ts.Tier == tier {
+			return ts
+		}
+	}
+	t.Fatalf("no %q tier on stats: %+v", tier, e.Stats().CacheTiers)
+	return engine.CacheTierStats{}
+}
+
+// TestFleetWarmStart is the cold-join acceptance test: after a fleet has
+// evaluated a sweep, a freshly joined replica replaying the same
+// fingerprint set must be served entirely from the fleet tier — zero local
+// solves — including the keys the new ring assigns to the joiner itself
+// (fetched from their ring successor, the previous owner).
+func TestFleetWarmStart(t *testing.T) {
+	single := engine.New(engine.Config{Workers: 2})
+	defer single.Close()
+	want := runSweep(t, single, testSpec(t))
+
+	opts := cacheFleetOpts{fleetTier: true, dispatch: true}
+	reps := startCacheFleet(t, 3, opts)
+	got := runSweep(t, reps[0].eng, testSpec(t))
+	requireSameEnvelope(t, got, want)
+	if total := fleetEvaluations(reps); total != uint64(want.Scenarios) {
+		t.Fatalf("warm fleet evaluations = %d, want %d", total, want.Scenarios)
+	}
+
+	// Cold replica joins the warm fleet and replays the sweep.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	peers := []string{reps[0].addr, reps[1].addr, reps[2].addr}
+	cold := startCacheReplica(t, ln, peers, opts)
+	cgot := runSweep(t, cold.eng, testSpec(t))
+	requireSameEnvelope(t, cgot, want)
+
+	cs := cold.eng.Stats()
+	if cs.Evaluations != 0 {
+		t.Fatalf("cold replica solved %d scenarios locally, want 0", cs.Evaluations)
+	}
+	fleet := tierStats(t, cold.eng, "fleet")
+	if fleet.Hits < uint64(want.Scenarios)*9/10 {
+		t.Fatalf("fleet-tier hits = %d of %d scenarios, want >= 90%%", fleet.Hits, want.Scenarios)
+	}
+	if fleet.Bytes == 0 {
+		t.Fatalf("fleet tier moved no bytes: %+v", fleet)
+	}
+	// The memory tier reports a footprint estimate now that promotions
+	// filled it (satellite: Bytes for every tier, not just disk).
+	if mem := tierStats(t, cold.eng, "memory"); mem.Entries == 0 || mem.Bytes == 0 {
+		t.Fatalf("memory tier gauges = %+v, want entries and bytes > 0", mem)
+	}
+	// And the whole fleet still performed no additional evaluation.
+	if total := fleetEvaluations(append(reps, cold)); total != uint64(want.Scenarios) {
+		t.Fatalf("fleet evaluations after cold replay = %d, want %d", total, want.Scenarios)
+	}
+}
+
+// TestFleetTierChaosDegrade arms the dispatch.forward fault — severing
+// every fleet interaction: forwards, cache tier, claims — and asserts the
+// replica degrades gracefully: warm keys keep serving from the local
+// memory tier, cold keys fall back to local evaluation, and no request
+// fails.
+func TestFleetTierChaosDegrade(t *testing.T) {
+	single := engine.New(engine.Config{Workers: 2})
+	defer single.Close()
+	want := runSweep(t, single, testSpec(t))
+
+	opts := cacheFleetOpts{fleetTier: true, dispatch: true, claimLease: 2 * time.Second}
+	reps := startCacheFleet(t, 3, opts)
+	got := runSweep(t, reps[0].eng, testSpec(t))
+	requireSameEnvelope(t, got, want)
+
+	set, err := faultinject.Parse("dispatch.forward:error")
+	if err != nil {
+		t.Fatalf("parse faults: %v", err)
+	}
+	faultinject.Activate(set)
+	defer faultinject.Activate(nil)
+	firedBefore := faultinject.Fired(faultinject.PointForward)
+
+	// Replica 0 is warm for every key (it ran the sweep): the re-run must
+	// be answered wholly by its local tiers.
+	evalsBefore := reps[0].eng.Stats().Evaluations
+	requireSameEnvelope(t, runSweep(t, reps[0].eng, testSpec(t)), want)
+	if d := reps[0].eng.Stats().Evaluations - evalsBefore; d != 0 {
+		t.Fatalf("warm replica re-evaluated %d scenarios under chaos, want 0 (memory tier)", d)
+	}
+
+	// Replica 1 is warm only for its own shard: everything else must fall
+	// back to a local solve — degraded but correct, nothing failing.
+	s1Before := reps[1].eng.Stats()
+	requireSameEnvelope(t, runSweep(t, reps[1].eng, testSpec(t)), want)
+	s1 := reps[1].eng.Stats()
+	if d := s1.Evaluations - s1Before.Evaluations; d == 0 {
+		t.Fatal("severed replica performed no local evaluations; expected fallback solves")
+	}
+	if s1.Errors != s1Before.Errors {
+		t.Fatalf("chaos surfaced evaluation errors: %d -> %d", s1Before.Errors, s1.Errors)
+	}
+	if faultinject.Fired(faultinject.PointForward) == firedBefore {
+		t.Fatal("dispatch.forward fault never fired; chaos exercised nothing")
+	}
+}
+
+// TestClaimDedup is the claims acceptance test: duplicate submissions
+// through different replicas cost exactly one evaluation even with every
+// local memo cache disabled and no forwarding configured — the leased
+// claims alone carry the guarantee.
+func TestClaimDedup(t *testing.T) {
+	reps := startCacheFleet(t, 3, cacheFleetOpts{
+		claimLease:   2 * time.Second,
+		noLocalCache: true,
+	})
+
+	// Sequential duplicates, one replica after another.
+	for _, r := range reps {
+		res, err := r.eng.Submit(context.Background(), &engine.Request{
+			Graph: gen.Figure2(), Method: engine.MethodKIter,
+		})
+		if err != nil {
+			t.Fatalf("submit via %s: %v", r.addr, err)
+		}
+		if res.Throughput == nil || !res.Throughput.Optimal {
+			t.Fatalf("bad result via %s: %+v", r.addr, res)
+		}
+	}
+	if total := fleetEvaluations(reps); total != 1 {
+		t.Fatalf("fleet evaluations after sequential duplicates = %d, want 1", total)
+	}
+	var granted, served uint64
+	for _, r := range reps {
+		s := r.eng.Stats()
+		granted += s.ClaimsGranted
+		served += s.ClaimsServed
+	}
+	if granted != 1 || served != 2 {
+		t.Fatalf("claims granted/served = %d/%d, want 1/2", granted, served)
+	}
+
+	// Concurrent duplicates of a fresh graph through every replica at
+	// once: local singleflight coalesces same-replica copies, the owner's
+	// claim table the cross-replica leaders.
+	g2 := gen.SampleRateConverter()
+	var wg sync.WaitGroup
+	errs := make(chan error, 12)
+	for _, r := range reps {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(e *engine.Engine) {
+				defer wg.Done()
+				_, err := e.Submit(context.Background(), &engine.Request{Graph: g2, Method: engine.MethodKIter})
+				errs <- err
+			}(r.eng)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent submit: %v", err)
+		}
+	}
+	if total := fleetEvaluations(reps); total != 2 {
+		t.Fatalf("fleet evaluations after concurrent duplicates = %d, want 2 (one per distinct graph)", total)
+	}
+}
+
+// TestClaimTableLifecycle pins the owner-side lease semantics the protocol
+// rests on.
+func TestClaimTableLifecycle(t *testing.T) {
+	var tb claimTable
+	tb.init()
+	lease := 50 * time.Millisecond
+
+	// First claimant is granted; a second is held for the lease.
+	if res, granted, _ := tb.claim("k", "a", lease); res != nil || !granted {
+		t.Fatalf("first claim: res=%v granted=%v", res, granted)
+	}
+	if _, granted, heldFor := tb.claim("k", "b", lease); granted || heldFor <= 0 {
+		t.Fatalf("second claim: granted=%v heldFor=%v", granted, heldFor)
+	}
+	// The holder may re-claim its own key (idempotent retry).
+	if _, granted, _ := tb.claim("k", "a", lease); !granted {
+		t.Fatal("holder re-claim denied")
+	}
+
+	// Publish completes the claim; subsequent claims see the result.
+	res := &engine.Result{Fingerprint: "fp"}
+	tb.publish("k", res, time.Minute)
+	if got, granted, _ := tb.claim("k", "b", lease); got != res || granted {
+		t.Fatalf("post-publish claim: got=%v granted=%v", got, granted)
+	}
+	if tb.published("k") != res {
+		t.Fatal("published lookup missed")
+	}
+
+	// Release frees a held key immediately.
+	if _, granted, _ := tb.claim("k2", "a", lease); !granted {
+		t.Fatal("k2 claim denied")
+	}
+	tb.release("k2", "a")
+	if _, granted, _ := tb.claim("k2", "b", lease); !granted {
+		t.Fatal("k2 not reclaimable after release")
+	}
+	// A non-holder's release is a no-op.
+	tb.release("k2", "a")
+	if _, granted, _ := tb.claim("k2", "c", lease); granted {
+		t.Fatal("stranger release freed a held key")
+	}
+
+	// An expired lease is claimable by the next arrival (crashed holder).
+	if _, granted, _ := tb.claim("k3", "a", time.Millisecond); !granted {
+		t.Fatal("k3 claim denied")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, granted, _ := tb.claim("k3", "b", lease); !granted {
+		t.Fatal("expired lease not reclaimable")
+	}
+}
+
+func TestKeyFingerprint(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc|kiter|throughput": "abc",
+		"abc":                  "abc",
+		"|kiter":               "",
+	} {
+		if got := keyFingerprint(in); got != want {
+			t.Fatalf("keyFingerprint(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

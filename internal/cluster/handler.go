@@ -6,9 +6,11 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"kiter/internal/engine"
+	"kiter/internal/resultcodec"
 )
 
 // maxForwardBody bounds a forwarded request body, mirroring the public
@@ -68,6 +70,15 @@ func (c *Cluster) EvaluateHandler(e *engine.Engine, timeout time.Duration) http.
 		// header is client-controlled) are ignored rather than given rows.
 		if ps := c.peer(r.Header.Get(peerHeader)); ps != nil {
 			ps.served.Add(1)
+		}
+		// Current peers negotiate the binary result codec via Accept; the
+		// JSON fallback keeps mixed-version fleets forwarding during a
+		// rolling upgrade.
+		if strings.Contains(r.Header.Get("Accept"), resultContentType) {
+			w.Header().Set("Content-Type", resultContentType)
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(resultcodec.Encode(res))
+			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)

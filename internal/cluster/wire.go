@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"kiter/internal/engine"
+	"kiter/internal/resultcodec"
 	"kiter/internal/sdf3x"
 )
 
@@ -78,9 +79,26 @@ func decodeResult(body []byte, peer string) (*engine.Result, error) {
 	if err := json.Unmarshal(body, &res); err != nil {
 		return nil, fmt.Errorf("cluster: decoding result: %w", err)
 	}
+	return normalizeRemote(&res, peer), nil
+}
+
+// decodeBinaryResult is decodeResult for resultcodec replies — the
+// negotiated fast path on /cluster/evaluate and the only encoding of the
+// cache tier.
+func decodeBinaryResult(body []byte, peer string) (*engine.Result, error) {
+	res, err := resultcodec.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: decoding result: %w", err)
+	}
+	return normalizeRemote(res, peer), nil
+}
+
+// normalizeRemote strips the sender's per-submission fields and stamps the
+// result's fleet origin.
+func normalizeRemote(res *engine.Result, peer string) *engine.Result {
 	res.Graph = ""
 	res.CacheHit = false
 	res.Deduped = false
 	res.Peer = peer
-	return &res, nil
+	return res
 }

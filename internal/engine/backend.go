@@ -42,8 +42,9 @@ type CacheTierStats struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
 	// Entries is the current number of stored entries; Bytes the tier's
-	// storage footprint where it is meaningful (disk segments; zero for
-	// the in-memory tier).
+	// storage footprint: exact segment bytes for the disk tier, an
+	// at-insert heap estimate for the memory tier, payload bytes
+	// transferred for remote tiers.
 	Entries int   `json:"entries"`
 	Bytes   int64 `json:"bytes,omitempty"`
 }
@@ -92,6 +93,7 @@ func (m *memoryCache) TierStats() []CacheTierStats {
 		Hits:    m.hits.Load(),
 		Misses:  m.misses.Load(),
 		Entries: m.c.len(),
+		Bytes:   m.c.bytes(),
 	}}
 }
 

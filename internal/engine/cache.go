@@ -17,13 +17,46 @@ type resultCache struct {
 type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
+	bytes    int64      // estimated footprint of the shard's entries
 	order    *list.List // front = most recently used
 	items    map[string]*list.Element
 }
 
 type cacheEntry struct {
-	key string
-	res *Result
+	key  string
+	res  *Result
+	size int64 // estimateResultBytes at insert, so eviction can subtract it
+}
+
+// estimateResultBytes approximates one cache entry's heap footprint: the
+// key, the Result struct and every string/slice it references, plus fixed
+// overhead for the map bucket and LRU list element. An estimate taken once
+// at insert is deliberate — Results are immutable after publication, and
+// capacity planning needs tier totals that are honest to within a few
+// percent, not a precise allocator census.
+func estimateResultBytes(key string, res *Result) int64 {
+	const (
+		entryOverhead = 160 // cacheEntry + list.Element + map bucket share
+		ptrSection    = 16  // pointer + allocation header per section
+	)
+	n := int64(entryOverhead + len(key))
+	n += int64(len(res.Graph) + len(res.Fingerprint) + len(res.Peer))
+	if t := res.Throughput; t != nil {
+		n += ptrSection + int64(len(t.Period)+len(t.Throughput)+len(t.Method)+len(t.Error))
+		n += int64(8 * len(t.K))
+	}
+	if s := res.Schedule; s != nil {
+		n += ptrSection + int64(len(s.Period)+len(s.Latency)+len(s.Error))
+		n += int64(8 * len(s.K))
+	}
+	if s := res.Sizing; s != nil {
+		n += ptrSection + int64(len(s.Period)+len(s.Error))
+		n += int64(8 * len(s.Capacities))
+	}
+	if s := res.Symbolic; s != nil {
+		n += ptrSection + int64(len(s.Period)+len(s.Throughput)+len(s.Error))
+	}
+	return n
 }
 
 // newResultCache builds a cache with the given shard count and total
@@ -93,19 +126,25 @@ func (c *resultCache) put(key string, res *Result) {
 	if c == nil {
 		return
 	}
+	size := estimateResultBytes(key, res)
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		ent := el.Value.(*cacheEntry)
+		s.bytes += size - ent.size
+		ent.res, ent.size = res, size
 		s.order.MoveToFront(el)
 		return
 	}
-	s.items[key] = s.order.PushFront(&cacheEntry{key: key, res: res})
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, res: res, size: size})
+	s.bytes += size
 	if s.order.Len() > s.capacity {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
-		delete(s.items, oldest.Value.(*cacheEntry).key)
+		ent := oldest.Value.(*cacheEntry)
+		s.bytes -= ent.size
+		delete(s.items, ent.key)
 	}
 }
 
@@ -119,6 +158,21 @@ func (c *resultCache) len() int {
 		s := &c.shards[i]
 		s.mu.Lock()
 		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// bytes returns the cache's estimated footprint (see estimateResultBytes).
+func (c *resultCache) bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
 		s.mu.Unlock()
 	}
 	return n

@@ -1,0 +1,60 @@
+package engine
+
+import "context"
+
+// Claimer is the cross-process singleflight seam. The in-process
+// flightGroup guarantees one evaluation per key per engine; a Claimer
+// extends that guarantee across a fleet: before a leader job runs, the
+// engine claims its cache key with the Claimer, which coordinates with
+// the key's ring owner so that two replicas solving the same fingerprint
+// concurrently collapse to one evaluation — even when neither replica
+// forwards the job and the local memo cache is disabled.
+//
+// Claim blocks (bounded by the implementation's lease/poll policy and by
+// ctx) until one of three outcomes:
+//
+//   - res != nil: another process already evaluated the key; res is its
+//     published result. The engine serves it without evaluating and
+//     counts it under Stats.ClaimsServed + RemoteResults.
+//   - res == nil, release != nil: this process holds the claim and must
+//     evaluate. The engine calls release exactly once afterwards — with
+//     the completed result so the owner can publish it to the claim's
+//     waiters, or with nil when the evaluation failed or was cancelled,
+//     so the owner frees the key for the next claimant immediately
+//     instead of waiting out the lease.
+//   - both nil: claiming is unavailable (owner down, breaker open,
+//     lease machinery failed). The engine degrades to a plain local
+//     evaluation — claims are a dedup optimization, never a correctness
+//     gate, so every error path must land here rather than block jobs.
+//
+// Implementations must be safe for concurrent use. internal/cluster
+// implements it over /cluster/claim with leased claims at the ring owner.
+type Claimer interface {
+	Claim(ctx context.Context, key, fingerprint string) (res *Result, release func(res *Result))
+}
+
+// claimJob runs the Claimer handshake for one leader job. It returns
+// (res, true) when the job was resolved remotely, (nil, false) when the
+// engine should evaluate locally — in which case release (possibly nil)
+// must be invoked with the evaluation's outcome.
+func (e *Engine) claimJob(ctx context.Context, j *job) (res *Result, served bool, release func(*Result)) {
+	// NoCache requests opt out of the shared result space entirely — their
+	// results are never published, so claiming would serialize them behind
+	// a lease for nothing.
+	if e.cfg.Claims == nil || j.req.NoCache {
+		return nil, false, nil
+	}
+	res, release = e.cfg.Claims.Claim(ctx, j.req.cacheKeyHint, j.req.fingerprintHint)
+	if res != nil {
+		e.stats.claimsServed.Add(1)
+		e.stats.remote.Add(1)
+		if e.cache != nil {
+			e.cache.Put(j.req.cacheKeyHint, res)
+		}
+		return res, true, nil
+	}
+	if release != nil {
+		e.stats.claimsGranted.Add(1)
+	}
+	return nil, false, release
+}

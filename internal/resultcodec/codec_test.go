@@ -1,0 +1,165 @@
+package resultcodec
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"kiter/internal/engine"
+)
+
+// sampleResults covers every section combination the engine produces,
+// including exact rationals far beyond float64 precision.
+func sampleResults() []*engine.Result {
+	return []*engine.Result{
+		{},
+		{
+			Graph:       "pipeline",
+			Fingerprint: "fp-8c1a",
+			CacheHit:    true,
+			ElapsedMS:   0.125,
+			Throughput: &engine.ThroughputResult{
+				Period:     "47/3",
+				Throughput: "3/47",
+				Float:      0.06382978723404255,
+				Optimal:    true,
+				Method:     engine.MethodKIter,
+				K:          []int64{1, 2, 3, 4},
+				Iterations: 17,
+			},
+		},
+		{
+			Graph:       "huge-rationals",
+			Fingerprint: "fp-exact",
+			Deduped:     true,
+			Peer:        "10.0.0.7:9090",
+			Throughput: &engine.ThroughputResult{
+				// Numerator/denominator exceed float64's 53-bit mantissa;
+				// the codec must carry them verbatim.
+				Period:     "123456789012345678901234567890/7",
+				Throughput: "7/123456789012345678901234567890",
+				Method:     engine.MethodSymbolic,
+				K:          []int64{-1, 0, 9223372036854775807, -9223372036854775808},
+			},
+			Schedule: &engine.ScheduleResult{
+				K:       []int64{5, 5, 5},
+				Period:  "360/7",
+				Latency: "1081/7",
+			},
+		},
+		{
+			Graph: "sizing+symbolic",
+			Sizing: &engine.SizingResult{
+				Capacities: []int64{2, 4, 8},
+				Period:     "99/2",
+				Error:      "",
+			},
+			Symbolic: &engine.SymbolicResult{
+				Period:        "15/4",
+				Throughput:    "4/15",
+				Float:         0.26666666666666666,
+				TransientTime: 12,
+				CycleTime:     60,
+				Events:        4096,
+				StatesStored:  257,
+			},
+		},
+		{
+			Graph:       "errors",
+			Fingerprint: "fp-err",
+			Throughput:  &engine.ThroughputResult{Error: "deadlock: actor b starved"},
+			Schedule:    &engine.ScheduleResult{Error: "no periodic schedule"},
+			Sizing:      &engine.SizingResult{Error: "infeasible under cap"},
+			Symbolic:    &engine.SymbolicResult{Error: "state budget exceeded"},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for i, want := range sampleResults() {
+		buf := Encode(want)
+		if len(buf) != EncodedSize(want) {
+			t.Fatalf("case %d: EncodedSize=%d but Encode produced %d bytes", i, EncodedSize(want), len(buf))
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("case %d: Decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: round-trip mismatch\n got: %+v\nwant: %+v", i, got, want)
+		}
+	}
+}
+
+func TestExactRationalsPreserved(t *testing.T) {
+	want := "170141183460469231731687303715884105727/170141183460469231731687303715884105728"
+	res := &engine.Result{Throughput: &engine.ThroughputResult{Period: want, Throughput: want}}
+	got, err := Decode(Encode(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Throughput.Period != want || got.Throughput.Throughput != want {
+		t.Fatalf("rational mangled: %q / %q", got.Throughput.Period, got.Throughput.Throughput)
+	}
+}
+
+// TestBitFlipDetected asserts the CRC catches every possible single-bit
+// corruption anywhere in the frame — torn disk writes and flaky wire
+// transfers degrade to a miss, never to a wrong result.
+func TestBitFlipDetected(t *testing.T) {
+	buf := Encode(sampleResults()[1])
+	for i := range buf {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), buf...)
+			mut[i] ^= 1 << bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("flip of byte %d bit %d decoded cleanly", i, bit)
+			} else if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip of byte %d bit %d: error %v does not wrap ErrCorrupt", i, bit, err)
+			}
+		}
+	}
+}
+
+// TestTruncationDetected asserts every torn prefix of a valid frame fails.
+func TestTruncationDetected(t *testing.T) {
+	buf := Encode(sampleResults()[2])
+	for n := 0; n < len(buf); n++ {
+		if _, err := Decode(buf[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%d-byte prefix: got err %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestDecodeRejectsJunk(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("{}"),
+		[]byte(`{"graph":"x"}`), // old JSON payloads must read as corrupt, not as zero results
+		[]byte("KRC\x02aaaaaaaaaaaaaaaaaaaaaaaa"), // future version
+		append(Encode(&engine.Result{}), 0),       // trailing garbage
+	}
+	for i, buf := range cases {
+		if _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("case %d: got err %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	res := sampleResults()[1]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(res)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := Encode(sampleResults()[1])
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package resultcodec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the decoder. Decode must never
+// panic; when it does accept a buffer, the result must survive a full
+// re-encode/re-decode round trip — i.e. every accepted frame is canonical.
+func FuzzDecode(f *testing.F) {
+	for _, res := range sampleResults() {
+		f.Add(Encode(res))
+	}
+	f.Add([]byte("KRC\x01"))
+	f.Add([]byte(`{"throughput":{"period":"3/2"}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := Decode(Encode(res))
+		if err != nil {
+			t.Fatalf("re-decode of accepted frame failed: %v", err)
+		}
+		if !reflect.DeepEqual(res, again) {
+			t.Fatalf("accepted frame not canonical:\nfirst: %+v\nagain: %+v", res, again)
+		}
+	})
+}
