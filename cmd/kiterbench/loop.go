@@ -17,8 +17,9 @@ type sample struct {
 	status   int // 0 = transport error (dial/timeout/reset)
 	class    string
 	latency  time.Duration
-	hits     int // "cacheHit":true occurrences in the response
-	misses   int // "cacheHit":false occurrences
+	hits     int    // "cacheHit":true occurrences in the response
+	misses   int    // "cacheHit":false occurrences
+	reqID    string // server's X-Request-ID echo; empty on transport errors
 }
 
 // classify buckets a response for the error/shed/drain accounting:
@@ -69,6 +70,7 @@ func runOne(client *http.Client, base string, req benchReq, sched time.Time) sam
 	resp.Body.Close()
 	s.latency = time.Since(sched)
 	s.status = resp.StatusCode
+	s.reqID = resp.Header.Get("X-Request-ID")
 	s.class = classify(resp.StatusCode, body)
 	if s.class == "ok" {
 		s.hits = bytes.Count(body, hitMarker)
@@ -92,7 +94,14 @@ type epStats struct {
 	misses   uint64
 	max      time.Duration
 	byStatus map[string]uint64
+	// failedIDs samples the first few failed requests' X-Request-ID echoes
+	// — enough to pull the matching server traces after a bad run, bounded
+	// so a total outage doesn't accumulate one string per failure.
+	failedIDs []string
 }
+
+// maxFailedIDSamples bounds the per-endpoint failed-request-ID sample.
+const maxFailedIDSamples = 8
 
 var benchBuckets = telemetry.LogLinearBuckets(1e-6, 27, 8)
 
@@ -142,6 +151,9 @@ func (r *recorder) add(s sample) {
 		ep.drained++
 	default:
 		ep.errors++
+		if s.reqID != "" && len(ep.failedIDs) < maxFailedIDSamples {
+			ep.failedIDs = append(ep.failedIDs, s.reqID)
+		}
 	}
 }
 

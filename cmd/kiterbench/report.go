@@ -32,6 +32,10 @@ type EndpointResult struct {
 	P999Ms        float64           `json:"p999_ms"`
 	MeanMs        float64           `json:"mean_ms"`
 	MaxMs         float64           `json:"max_ms"`
+	// FailedRequestIDs samples the X-Request-ID echoes of failed requests
+	// (up to 8): the handles to pull the matching server-side traces from
+	// GET /debug/traces after a bad run.
+	FailedRequestIDs []string `json:"failed_request_ids,omitempty"`
 }
 
 // RunResult is one load phase (one mode).
@@ -89,6 +93,8 @@ func (e *epStats) result(endpoint string) EndpointResult {
 		CacheMisses:   e.misses,
 		CacheHitRatio: ratio(e.hits, e.hits+e.misses),
 		MaxMs:         float64(e.max) / float64(time.Millisecond),
+
+		FailedRequestIDs: e.failedIDs,
 	}
 	r.P50Ms = e.hist.Quantile(0.50) * 1e3
 	r.P95Ms = e.hist.Quantile(0.95) * 1e3
@@ -131,6 +137,11 @@ func buildRun(mode string, rec *recorder, window time.Duration) RunResult {
 		}
 		for k, v := range ep.byStatus {
 			overall.byStatus[k] += v
+		}
+		for _, id := range ep.failedIDs {
+			if len(overall.failedIDs) < maxFailedIDSamples {
+				overall.failedIDs = append(overall.failedIDs, id)
+			}
 		}
 	}
 	run.Overall = overall.result("overall")

@@ -29,6 +29,7 @@ type chaosReplica struct {
 	eng  *engine.Engine
 	cl   *cluster.Cluster
 	hs   *http.Server
+	rec  *telemetry.Recorder
 }
 
 // startKiterdFleet boots n full replica stacks on loopback ports and
@@ -52,6 +53,7 @@ func startKiterdFleet(t *testing.T, n int) ([]*chaosReplica, func()) {
 		if err != nil {
 			t.Fatalf("cache backend: %v", err)
 		}
+		rec := telemetry.NewRecorder(256)
 		cl, err := cluster.New(cluster.Config{
 			Self:             addrs[i],
 			Peers:            addrs,
@@ -60,6 +62,7 @@ func startKiterdFleet(t *testing.T, n int) ([]*chaosReplica, func()) {
 			MaxProbeInterval: 100 * time.Millisecond,
 			RetryBackoff:     2 * time.Millisecond,
 			Metrics:          reg,
+			Recorder:         rec,
 		})
 		if err != nil {
 			t.Fatalf("cluster.New(%s): %v", addrs[i], err)
@@ -82,12 +85,15 @@ func startKiterdFleet(t *testing.T, n int) ([]*chaosReplica, func()) {
 			Analyses: []engine.AnalysisKind{engine.AnalysisThroughput},
 			Timeout:  30 * time.Second,
 		}
-		srv := newServer(eng, tmpl, cl, observability{reg: reg})
+		srv := newServer(eng, tmpl, cl, observability{
+			reg: reg, recorder: rec,
+			exemplar: telemetry.NewExemplarTracker(0), process: addrs[i],
+		})
 		srv.admission = adm
 		srv.markReady()
 		hs := &http.Server{Handler: srv}
 		go hs.Serve(lns[i])
-		reps[i] = &chaosReplica{addr: addrs[i], eng: eng, cl: cl, hs: hs}
+		reps[i] = &chaosReplica{addr: addrs[i], eng: eng, cl: cl, hs: hs, rec: rec}
 	}
 	var stopped bool
 	stop := func() {

@@ -167,6 +167,7 @@ func run() error {
 		cacheFleet     = flag.Bool("cache-fleet", false, "compose a fleet cache tier behind the local tiers: misses are answered from the key's ring owner over /cluster/cache and local results are published to their owner, so cold replicas warm-start from the fleet (requires -peers)")
 		claimLease     = flag.Duration("claim-lease", 30*time.Second, "cross-process singleflight lease: before evaluating, claim the key at its ring owner so duplicate submissions through different replicas cost one evaluation; the lease bounds how long a crashed holder blocks a key (0 disables; only with -peers)")
 		traceLogPath   = flag.String("trace-log", "", "append every /analyze request's span tree as one NDJSON line to this file")
+		traceBuffer    = flag.Int("trace-buffer", 256, "HTTP mode: capacity of the always-on flight recorder behind GET /debug/traces — a bounded ring of recent traces biased toward keeping the slowest and errored ones (0 disables tracing entirely)")
 		pprofAddr      = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 		drainTimeout   = flag.Duration("drain-timeout", 30*time.Second, "HTTP mode: budget for in-flight requests to finish after SIGTERM/SIGINT before connections are cut")
 		chaos          = flag.String("chaos", "", "fault-injection spec, e.g. cache.get:error::3,solver.entry:latency:50ms (default: $KITER_CHAOS; empty disables)")
@@ -194,9 +195,23 @@ func run() error {
 
 	// One registry serves the whole process: the engine and cluster register
 	// their histograms into it at construction, and GET /metrics renders it.
+	// The Go runtime collector (goroutines, heap, GC pauses, scheduler
+	// latency) rides along so every scrape carries process health.
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterRuntimeMetrics(reg)
 
-	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout, *workers, *claimLease, reg)
+	// The flight recorder is built before the cluster so the cluster's
+	// handler-side spans (evaluate/cache/claim served for peers) record
+	// into the same buffer the local /analyze roots do.
+	var recorder *telemetry.Recorder
+	var exemplar *telemetry.ExemplarTracker
+	if *traceBuffer > 0 {
+		recorder = telemetry.NewRecorder(*traceBuffer)
+		exemplar = telemetry.NewExemplarTracker(0)
+		exemplar.Register(reg)
+	}
+
+	cl, err := buildCluster(*peers, *selfAddr, *addr, *forwardTimeout, *timeout, *workers, *claimLease, reg, recorder)
 	if err != nil {
 		return err
 	}
@@ -328,7 +343,14 @@ func run() error {
 			}
 			defer traceLog.Close()
 		}
-		srv := newServer(e, tmpl, cl, observability{reg: reg, traceLog: traceLog, build: build})
+		process := ""
+		if cl != nil {
+			process = cl.Self()
+		}
+		srv := newServer(e, tmpl, cl, observability{
+			reg: reg, traceLog: traceLog, recorder: recorder,
+			exemplar: exemplar, process: process, build: build,
+		})
 		srv.admission = adm
 		if cl != nil {
 			fmt.Printf("kiterd: clustered as %s (peers: %s)\n", cl.Self(), *peers)
@@ -347,7 +369,7 @@ func run() error {
 // transport's per-peer connection pool to the engine's concurrency.
 // claimLease (the -claim-lease flag) enables the cross-process
 // singleflight claim client when positive.
-func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration, workers int, claimLease time.Duration, reg *telemetry.Registry) (*cluster.Cluster, error) {
+func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.Duration, workers int, claimLease time.Duration, reg *telemetry.Registry, recorder *telemetry.Recorder) (*cluster.Cluster, error) {
 	if peers == "" {
 		return nil, nil
 	}
@@ -381,6 +403,7 @@ func buildCluster(peers, self, addr string, forwardTimeout, requestTimeout time.
 		Workers:        workers,
 		ClaimLease:     claimLease,
 		Metrics:        reg,
+		Recorder:       recorder,
 	})
 }
 

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -25,13 +26,20 @@ const maxBodyBytes = 64 << 20
 
 // observability bundles the telemetry seams handed to the server: the
 // metrics registry behind GET /metrics, the optional -trace-log NDJSON
-// sink, and the build block reported by /stats. The zero value is a fully
-// quiet server (no /metrics endpoint, no per-request histograms, no trace
-// log) — what most tests want.
+// sink, the always-on flight recorder behind GET /debug/traces, the
+// exemplar tracker linking /metrics latency to trace IDs, and the build
+// block reported by /stats. The zero value is a fully quiet server (no
+// /metrics endpoint, no per-request histograms, no trace log, no
+// recorder) — what most tests want.
 type observability struct {
 	reg      *telemetry.Registry
 	traceLog *telemetry.TraceLog
-	build    buildInfo
+	recorder *telemetry.Recorder
+	exemplar *telemetry.ExemplarTracker
+	// process names this replica in recorded traces — the cluster self
+	// address in a fleet, empty standalone.
+	process string
+	build   buildInfo
 }
 
 // server is the HTTP front-end over the analysis engine.
@@ -39,6 +47,9 @@ type server struct {
 	e    *engine.Engine
 	tmpl requestTemplate
 	mux  *http.ServeMux
+	// cl is the optional cluster layer; the debug trace endpoints use it
+	// to fan a ?fleet=1 stitch out to peers.
+	cl *cluster.Cluster
 	// maxBody bounds request bodies; overridable in tests.
 	maxBody int64
 	obs     observability
@@ -70,7 +81,7 @@ type server struct {
 // section (via engine.Stats). obs wires the telemetry seams; the zero
 // observability disables all of them.
 func newServer(e *engine.Engine, tmpl requestTemplate, cl *cluster.Cluster, obs observability) *server {
-	s := &server{e: e, tmpl: tmpl, mux: http.NewServeMux(), maxBody: maxBodyBytes, obs: obs}
+	s := &server{e: e, tmpl: tmpl, mux: http.NewServeMux(), cl: cl, maxBody: maxBodyBytes, obs: obs}
 	if obs.build == (buildInfo{}) {
 		s.obs.build = readBuildInfo()
 	}
@@ -83,6 +94,10 @@ func newServer(e *engine.Engine, tmpl requestTemplate, cl *cluster.Cluster, obs 
 			"HTTP request latency by endpoint and status code, in seconds.",
 			telemetry.LatencyBuckets, "endpoint", "code")
 		s.mux.HandleFunc("/metrics", s.handleMetrics)
+	}
+	if obs.recorder != nil {
+		s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+		s.mux.HandleFunc("/debug/traces/", s.handleDebugTrace)
 	}
 	if cl != nil {
 		eh := cl.EvaluateHandler(e, tmpl.Timeout)
@@ -182,19 +197,38 @@ func endpointLabel(path string) string {
 		"/cluster/evaluate", "/cluster/cache/get", "/cluster/cache/put", "/cluster/claim":
 		return path
 	}
+	if strings.HasPrefix(path, "/debug/traces") {
+		return "/debug/traces"
+	}
 	return "other"
 }
 
-// statusWriter captures the response code for the request histogram.
+// traceIDHeader is the response header trace-producing handlers set so the
+// middleware can link the request histogram's slowest observation to its
+// flight-recorder trace (and so clients learn which trace to pull).
+const traceIDHeader = "X-Kiter-Trace-Id"
+
+// requestIDHeader carries the per-request correlation ID: echoed from the
+// client when present (and well-formed), generated otherwise, always
+// reflected on the response and included in JSON error bodies.
+const requestIDHeader = "X-Request-ID"
+
+// statusWriter captures the response code for the request histogram and
+// carries the request's correlation ID to error writers downstream.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	reqID string
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// RequestID exposes the correlation ID to error body writers (httpError,
+// cluster.writeError) through an interface assertion.
+func (w *statusWriter) RequestID() string { return w.reqID }
 
 // Flush forwards streaming flushes (the /sweep NDJSON path) through the
 // status capture.
@@ -204,16 +238,51 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// requestID echoes a well-formed client X-Request-ID or mints one.
+func (s *server) requestID(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get(requestIDHeader)); id != "" {
+		return id
+	}
+	return fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+}
+
+// sanitizeRequestID accepts up to 64 characters of [A-Za-z0-9._-]; anything
+// else (header injection, binary junk) is discarded in favor of a
+// generated ID.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK, reqID: s.requestID(r)}
+	// Reflect the ID on the response and normalize it into the request
+	// headers, so handlers (and the cluster handlers' trace records) read
+	// one canonical value.
+	sw.Header().Set(requestIDHeader, sw.reqID)
+	r.Header.Set(requestIDHeader, sw.reqID)
+	s.mux.ServeHTTP(sw, r)
 	if s.httpHist == nil {
-		s.mux.ServeHTTP(w, r)
 		return
 	}
-	start := time.Now()
-	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-	s.mux.ServeHTTP(sw, r)
-	s.httpHist.With(endpointLabel(r.URL.Path), strconv.Itoa(sw.code)).
-		Observe(time.Since(start).Seconds())
+	elapsed := time.Since(start).Seconds()
+	ep := endpointLabel(r.URL.Path)
+	s.httpHist.With(ep, strconv.Itoa(sw.code)).Observe(elapsed)
+	if tid := sw.Header().Get(traceIDHeader); tid != "" {
+		s.obs.exemplar.Observe(ep, tid, elapsed)
+	}
 }
 
 // handleMetrics renders every registered instrument plus the scrape-time
@@ -333,21 +402,31 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	// A span tree is built when the client asked for it (?trace=1) or the
-	// process logs traces (-trace-log); the engine's instrumentation hangs
-	// its submit/solve/analysis children off this root via the context.
+	// A span tree is built when the client asked for it (?trace=1), the
+	// process logs traces (-trace-log), or a flight recorder is running
+	// (always the case under -trace-buffer > 0); the engine's
+	// instrumentation hangs its submit/solve/analysis children off this
+	// root via the context, and — in a fleet — the span's context rides the
+	// forward as a traceparent header so the owning replica's handler span
+	// joins the same tree.
 	wantTrace := traceRequested(r)
 	var span *telemetry.Span
 	var reqID string
-	if wantTrace || s.obs.traceLog != nil {
-		reqID = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+	start := time.Now()
+	if wantTrace || s.obs.traceLog != nil || s.obs.recorder != nil {
+		reqID = s.middlewareRequestID(w)
 		span = telemetry.NewTrace("analyze")
 		span.SetAttr("requestId", reqID)
 		ctx = telemetry.ContextWithSpan(ctx, span)
+		// Expose the trace ID before any write: clients learn which trace
+		// to pull, and the middleware links it to the latency exemplar.
+		w.Header().Set(traceIDHeader, span.Context().TraceID)
 	}
-	// finishTrace ends the root and flushes it to the trace log; it runs on
-	// the error path too, so failed and timed-out requests leave a record.
-	finishTrace := func(status string) *telemetry.SpanNode {
+	// finishTrace ends the root, flushes it to the trace log, and files it
+	// in the flight recorder; it runs on the error path too, so failed and
+	// timed-out requests leave a record (errored traces are exactly the
+	// ones the recorder's tail-biased retention fights to keep).
+	finishTrace := func(status string, code int) *telemetry.SpanNode {
 		if span == nil {
 			return nil
 		}
@@ -359,26 +438,43 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 				RequestID: reqID, Endpoint: "/analyze", Trace: node,
 			})
 		}
+		if s.obs.recorder != nil {
+			s.obs.recorder.Add(telemetry.RecordedTrace{
+				TraceID:       span.Context().TraceID,
+				RequestID:     reqID,
+				Endpoint:      "/analyze",
+				Process:       s.obs.process,
+				Status:        code,
+				Error:         code >= 400,
+				StartUnixNano: start.UnixNano(),
+				DurMS:         float64(time.Since(start)) / float64(time.Millisecond),
+				Root:          node,
+			})
+		}
 		return node
 	}
 
 	res, err := s.e.Submit(ctx, req)
 	if err != nil {
-		finishTrace("error")
 		switch {
 		case errors.Is(err, engine.ErrOverloaded):
 			// The hard MaxPending cliff: unlike an admission shed the job
 			// was attempted, but the retry hint is the same wait estimate.
+			finishTrace("error", http.StatusServiceUnavailable)
 			w.Header().Set("Retry-After", retryAfter(s.admission.EstimateWait()))
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, engine.ErrClosed):
+			finishTrace("error", http.StatusServiceUnavailable)
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, context.DeadlineExceeded):
+			finishTrace("error", http.StatusGatewayTimeout)
 			httpError(w, http.StatusGatewayTimeout, "analysis timed out")
 		case errors.Is(err, context.Canceled):
+			finishTrace("error", http.StatusBadRequest)
 			httpError(w, http.StatusBadRequest, "request cancelled")
 		default:
+			finishTrace("error", http.StatusBadRequest)
 			httpError(w, http.StatusBadRequest, "%v", err)
 		}
 		return
@@ -388,11 +484,23 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		st := s.e.Stats()
 		resp.Stats = &st
 	}
-	if node := finishTrace("ok"); node != nil && wantTrace {
+	if node := finishTrace("ok", http.StatusOK); node != nil && wantTrace {
 		resp.RequestID = reqID
 		resp.Trace = node
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// middlewareRequestID reads the correlation ID the serving middleware
+// attached to the response writer; handlers invoked outside the middleware
+// (direct mux tests) fall back to a locally numbered ID.
+func (s *server) middlewareRequestID(w http.ResponseWriter) string {
+	if rw, ok := w.(interface{ RequestID() string }); ok {
+		if id := rw.RequestID(); id != "" {
+			return id
+		}
+	}
+	return fmt.Sprintf("req-%d", s.reqSeq.Add(1))
 }
 
 // readBody reads a POST body under the server's size cap, writing the
@@ -484,5 +592,13 @@ func writeJSONIndent(w http.ResponseWriter, code int, v any) {
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	// Carry the middleware's correlation ID into the error body: a failed
+	// call in a client log then names the server-side trace to pull.
+	if rw, ok := w.(interface{ RequestID() string }); ok {
+		if id := rw.RequestID(); id != "" {
+			body["requestId"] = id
+		}
+	}
+	writeJSON(w, code, body)
 }

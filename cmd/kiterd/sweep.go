@@ -7,14 +7,114 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sync"
+	"time"
 
 	"kiter/internal/engine"
 	"kiter/internal/sweep"
+	"kiter/internal/telemetry"
 )
 
-// sweepEnvelopeLine closes a sweep stream with the aggregate.
+// sweepEnvelopeLine closes a sweep stream with the aggregate; TraceID names
+// the sweep's flight-recorder trace (with its sampled per-scenario spans)
+// when the process records traces.
 type sweepEnvelopeLine struct {
 	Envelope *sweep.Envelope `json:"envelope"`
+	TraceID  string          `json:"traceId,omitempty"`
+}
+
+// sweepTraceSamples caps the per-scenario spans hung off one sweep's trace:
+// scenarios are sampled at a stride that yields at most this many, so a
+// 10k-scenario sweep doesn't record a 10k-child span tree.
+const sweepTraceSamples = 16
+
+// sweepTrace carries one traced sweep's state: the root span plus the
+// sampled per-scenario child spans, opened from scenario goroutines and
+// closed from the serialized emit path.
+type sweepTrace struct {
+	span   *telemetry.Span
+	reqID  string
+	stride int
+	mu     sync.Mutex
+	open   map[int]*telemetry.Span
+}
+
+// newSweepTrace opens a sweep root span when the server records traces.
+func (s *server) newSweepTrace(w http.ResponseWriter, total int) *sweepTrace {
+	if s.obs.recorder == nil {
+		return nil
+	}
+	stride := (total + sweepTraceSamples - 1) / sweepTraceSamples
+	if stride < 1 {
+		stride = 1
+	}
+	reqID := s.middlewareRequestID(w)
+	span := telemetry.NewTrace("sweep")
+	span.SetAttr("requestId", reqID)
+	span.SetAttr("scenarios", total)
+	span.SetAttr("sampleStride", stride)
+	w.Header().Set(traceIDHeader, span.Context().TraceID)
+	return &sweepTrace{span: span, reqID: reqID, stride: stride, open: map[int]*telemetry.Span{}}
+}
+
+// memberContext is the Runner.MemberContext hook: sampled scenarios get a
+// child span carried in their submission context, so the engine's
+// submit/solve instrumentation lands under it.
+func (t *sweepTrace) memberContext(ctx context.Context, i int) context.Context {
+	if t == nil || i%t.stride != 0 {
+		return ctx
+	}
+	mctx, sp := telemetry.StartSpan(ctx, "sweep.scenario")
+	if sp == nil {
+		return ctx
+	}
+	sp.SetAttr("scenario", i)
+	t.mu.Lock()
+	t.open[i] = sp
+	t.mu.Unlock()
+	return mctx
+}
+
+// pointDone closes scenario i's sampled span, if one was opened.
+func (t *sweepTrace) pointDone(p sweep.Point) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	sp := t.open[p.Scenario]
+	delete(t.open, p.Scenario)
+	t.mu.Unlock()
+	if sp == nil {
+		return
+	}
+	if p.Error != "" {
+		sp.SetAttr("error", p.Error)
+	}
+	sp.End()
+}
+
+// finish ends the root and files the sweep in the flight recorder.
+func (t *sweepTrace) finish(s *server, status string, failed bool, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.span.SetAttr("status", status)
+	t.span.End()
+	code := http.StatusOK
+	if failed {
+		code = http.StatusInternalServerError
+	}
+	s.obs.recorder.Add(telemetry.RecordedTrace{
+		TraceID:       t.span.Context().TraceID,
+		RequestID:     t.reqID,
+		Endpoint:      "/sweep",
+		Process:       s.obs.process,
+		Status:        code,
+		Error:         failed,
+		StartUnixNano: start.UnixNano(),
+		DurMS:         float64(time.Since(start)) / float64(time.Millisecond),
+		Root:          t.span.Snapshot(),
+	})
 }
 
 // handleSweep serves POST /sweep: a parametric sweep spec in, one NDJSON
@@ -47,6 +147,12 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The sweep's root span (and its sampled per-scenario children) must be
+	// opened before the stream commits: the trace ID header has to precede
+	// the status line.
+	start := time.Now()
+	trace := s.newSweepTrace(w, x.Total())
+
 	// From here on the response is a stream: the status line is committed
 	// before the first scenario resolves, so runtime failures surface as
 	// an envelope-less error line rather than a status change.
@@ -55,6 +161,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	emit := func(p sweep.Point) error {
+		trace.pointDone(p)
 		if err := enc.Encode(p); err != nil {
 			return err
 		}
@@ -67,15 +174,25 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// The configured analysis timeout applies per scenario, not to the
 	// sweep as a whole: a long family of fast solves streams to completion
 	// while one pathological scenario still cannot pin a worker forever.
-	runner := sweep.Runner{Engine: s.e, PointTimeout: s.tmpl.Timeout}
-	env, err := runner.Run(r.Context(), x, emit)
+	ctx := r.Context()
+	if trace != nil {
+		ctx = telemetry.ContextWithSpan(ctx, trace.span)
+	}
+	runner := sweep.Runner{Engine: s.e, PointTimeout: s.tmpl.Timeout, MemberContext: trace.memberContext}
+	env, err := runner.Run(ctx, x, emit)
 	if err != nil {
+		trace.finish(s, "error", true, start)
 		// The client is usually gone (emit error / context cancel); write
 		// the error line anyway for proxies that buffered the stream.
 		_ = enc.Encode(map[string]string{"error": err.Error()})
 		return
 	}
-	_ = enc.Encode(sweepEnvelopeLine{Envelope: env})
+	trace.finish(s, "ok", false, start)
+	line := sweepEnvelopeLine{Envelope: env}
+	if trace != nil {
+		line.TraceID = trace.span.Context().TraceID
+	}
+	_ = enc.Encode(line)
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -90,6 +90,9 @@ type remotePut struct {
 	owner string
 	key   string
 	body  []byte
+	// traceparent carries the publishing request's trace context into the
+	// async push, so the owner's put handler still joins the right trace.
+	traceparent string
 }
 
 // NewRemoteCache builds the fleet tier over c's transport and ring. The
@@ -144,12 +147,24 @@ func (rc *RemoteCache) fetchOwner(key string) string {
 // breaker, injected fault, transport error, corrupt frame — degrades to a
 // miss; the caller then falls through to a local evaluation.
 func (rc *RemoteCache) Get(key string) (*engine.Result, bool) {
+	return rc.GetCtx(context.Background(), key)
+}
+
+// GetCtx is the context-aware Get the engine prefers
+// (engine.CtxCacheBackend): the remote hop opens a child span under the
+// request's trace, propagates the trace context to the owner, honors the
+// caller's cancellation, and explains degrade paths as span events.
+func (rc *RemoteCache) GetCtx(ctx context.Context, key string) (*engine.Result, bool) {
+	gctx, span := telemetry.StartSpan(ctx, "cache.fleet.get")
+	defer span.End()
 	owner := rc.fetchOwner(key)
 	if owner == "" {
 		return rc.miss()
 	}
+	span.SetAttr("owner", owner)
 	ps := rc.c.peer(owner)
 	if ps == nil || !ps.breaker.Allow() {
+		span.Event("breaker.open", "peer", owner)
 		return rc.miss()
 	}
 	// Chaos seam: the fleet tier degrades with the same "dispatch.forward"
@@ -157,17 +172,20 @@ func (rc *RemoteCache) Get(key string) (*engine.Result, bool) {
 	// its peers, cache tier included, and everything must fall back to the
 	// local tiers.
 	if faultinject.Fire(faultinject.PointForward) != nil {
+		span.Event("chaos.severed", "point", faultinject.PointForward, "peer", owner)
 		return rc.miss()
 	}
 	start := time.Now()
-	res, ok, err := rc.fetch(owner, key)
+	res, ok, err := rc.fetch(gctx, owner, key)
 	rc.mRTT.With("get").Observe(time.Since(start).Seconds())
 	if err != nil {
 		rc.c.noteForwardFailure(ps)
 		rc.mErrors.Add(1)
+		span.SetAttr("error", err.Error())
 		return rc.miss()
 	}
 	ps.breaker.Success()
+	span.SetAttr("hit", ok)
 	if !ok {
 		return rc.miss()
 	}
@@ -183,9 +201,10 @@ func (rc *RemoteCache) miss() (*engine.Result, bool) {
 }
 
 // fetch performs the GET round trip: 200 + frame is a hit, 204 a miss,
-// anything else an error charged to the peer's breaker.
-func (rc *RemoteCache) fetch(owner, key string) (*engine.Result, bool, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), rc.c.opTimeout())
+// anything else an error charged to the peer's breaker. The parent ctx
+// supplies cancellation and trace context; the op timeout still applies.
+func (rc *RemoteCache) fetch(parent context.Context, owner, key string) (*engine.Result, bool, error) {
+	ctx, cancel := context.WithTimeout(parent, rc.c.opTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+owner+"/cluster/cache/get", nil)
@@ -194,6 +213,9 @@ func (rc *RemoteCache) fetch(owner, key string) (*engine.Result, bool, error) {
 	}
 	req.Header.Set(cacheKeyHeader, key)
 	req.Header.Set(peerHeader, rc.c.self)
+	if sc := telemetry.FromContext(parent).Context(); sc.Valid() {
+		req.Header.Set(telemetry.Traceparent, sc.Traceparent())
+	}
 	resp, err := rc.c.cfg.Client.Do(req)
 	if err != nil {
 		return nil, false, err
@@ -233,6 +255,14 @@ func (rc *RemoteCache) fetch(owner, key string) (*engine.Result, bool, error) {
 // has them — as are keys this replica owns itself: local tiers hold those,
 // and peers fetch them from here via the successor rule.
 func (rc *RemoteCache) Put(key string, res *engine.Result) {
+	rc.PutCtx(context.Background(), key, res)
+}
+
+// PutCtx is the context-aware Put (engine.CtxCacheBackend): it captures
+// the caller's trace context into the queued publish so the owner's put
+// handler records its subtree under the originating request's trace even
+// though the push happens asynchronously.
+func (rc *RemoteCache) PutCtx(ctx context.Context, key string, res *engine.Result) {
 	if res == nil || res.Peer != "" {
 		return
 	}
@@ -241,17 +271,21 @@ func (rc *RemoteCache) Put(key string, res *engine.Result) {
 	if owner == rc.c.self {
 		return
 	}
+	span := telemetry.FromContext(ctx)
 	if ps := rc.c.peer(owner); ps == nil || !ps.breaker.Allow() {
+		span.Event("breaker.open", "peer", owner, "op", "cache.fleet.put")
 		return
 	}
 	if faultinject.Fire(faultinject.PointForward) != nil {
+		span.Event("chaos.severed", "point", faultinject.PointForward, "peer", owner, "op", "cache.fleet.put")
 		return
 	}
 	if resultcodec.EncodedSize(res) > maxCacheBody {
 		return
 	}
 	select {
-	case rc.putCh <- remotePut{owner: owner, key: key, body: resultcodec.Encode(res)}:
+	case rc.putCh <- remotePut{owner: owner, key: key, body: resultcodec.Encode(res),
+		traceparent: span.Context().Traceparent()}:
 	default:
 		rc.dropped.Add(1)
 		rc.mDropped.Add(1)
@@ -273,7 +307,7 @@ func (rc *RemoteCache) push(p remotePut) {
 		return
 	}
 	start := time.Now()
-	err := rc.c.cachePush(p.owner, p.key, p.body)
+	err := rc.c.cachePush(p.owner, p.key, p.body, p.traceparent)
 	rc.mRTT.With("put").Observe(time.Since(start).Seconds())
 	if err != nil {
 		rc.c.noteForwardFailure(ps)
@@ -287,7 +321,9 @@ func (rc *RemoteCache) push(p remotePut) {
 
 // cachePush POSTs one encoded record to owner's put endpoint. Shared with
 // the claim client, which publishes held-claim results the same way.
-func (c *Cluster) cachePush(owner, key string, frame []byte) error {
+// traceparent, when non-empty, rides along so the owner's handler joins
+// the publishing request's trace.
+func (c *Cluster) cachePush(owner, key string, frame []byte, traceparent string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
@@ -298,6 +334,9 @@ func (c *Cluster) cachePush(owner, key string, frame []byte) error {
 	req.Header.Set("Content-Type", resultContentType)
 	req.Header.Set(cacheKeyHeader, key)
 	req.Header.Set(peerHeader, c.self)
+	if traceparent != "" {
+		req.Header.Set(telemetry.Traceparent, traceparent)
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return err
@@ -370,7 +409,12 @@ func (c *Cluster) localBackend() engine.CacheBackend {
 // local memo cache is disabled), and replies 200 + resultcodec frame or
 // 204 on a miss.
 func (c *Cluster) CacheGetHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return http.HandlerFunc(func(pw http.ResponseWriter, r *http.Request) {
+		sw := &statusCapture{ResponseWriter: pw, code: http.StatusOK}
+		w := http.ResponseWriter(sw)
+		ctx, finish := c.remoteSpan(r, "cluster.cache.get", "/cluster/cache/get")
+		defer func() { finish(sw.code) }()
+		span := telemetry.FromContext(ctx)
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST required")
 			return
@@ -389,6 +433,7 @@ func (c *Cluster) CacheGetHandler() http.Handler {
 		if res == nil {
 			res = c.claims.published(key)
 		}
+		span.SetAttr("hit", res != nil)
 		if res == nil {
 			w.WriteHeader(http.StatusNoContent)
 			return
@@ -407,7 +452,11 @@ func (c *Cluster) CacheGetHandler() http.Handler {
 // Oversized and undecodable frames are rejected — the owner enforces the
 // policy, it does not trust the publisher.
 func (c *Cluster) CachePutHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return http.HandlerFunc(func(pw http.ResponseWriter, r *http.Request) {
+		sw := &statusCapture{ResponseWriter: pw, code: http.StatusOK}
+		w := http.ResponseWriter(sw)
+		_, finish := c.remoteSpan(r, "cluster.cache.put", "/cluster/cache/put")
+		defer func() { finish(sw.code) }()
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST required")
 			return

@@ -13,6 +13,7 @@ import (
 	"kiter/internal/engine"
 	"kiter/internal/faultinject"
 	"kiter/internal/resultcodec"
+	"kiter/internal/telemetry"
 )
 
 // The claim subsystem is cross-process singleflight: before evaluating a
@@ -156,7 +157,12 @@ type claimReply struct {
 // ClaimHandler serves POST /cluster/claim: the owner side of the
 // cross-process singleflight protocol.
 func (c *Cluster) ClaimHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return http.HandlerFunc(func(pw http.ResponseWriter, r *http.Request) {
+		sw := &statusCapture{ResponseWriter: pw, code: http.StatusOK}
+		w := http.ResponseWriter(sw)
+		ctx, finish := c.remoteSpan(r, "cluster.claim", "/cluster/claim")
+		defer func() { finish(sw.code) }()
+		span := telemetry.FromContext(ctx)
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST required")
 			return
@@ -173,6 +179,7 @@ func (c *Cluster) ClaimHandler() http.Handler {
 		}
 		if cr.Release {
 			c.claims.release(cr.Key, cr.Holder)
+			span.SetAttr("release", true)
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
@@ -184,6 +191,7 @@ func (c *Cluster) ClaimHandler() http.Handler {
 		case granted:
 			reply = claimReply{Status: "granted"}
 		}
+		span.SetAttr("status", reply.Status)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_ = json.NewEncoder(w).Encode(reply)
@@ -229,27 +237,37 @@ func (c *Cluster) Claim(ctx context.Context, key, fingerprint string) (*engine.R
 	if ps == nil {
 		return nil, nil
 	}
+	ctx, span := telemetry.StartSpan(ctx, "cluster.claim")
+	span.SetAttr("owner", owner)
+	defer span.End()
 	deadline := time.Now().Add(2 * c.claimLease())
 	for {
-		if ctx.Err() != nil || !ps.breaker.Allow() {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		if !ps.breaker.Allow() {
+			span.Event("breaker.open", "peer", owner)
 			return nil, nil
 		}
 		// Chaos seam: like the fleet cache tier, claims sever with the
 		// "dispatch.forward" point and the engine solves locally.
 		if faultinject.Fire(faultinject.PointForward) != nil {
+			span.Event("chaos.severed", "point", faultinject.PointForward, "peer", owner)
 			return nil, nil
 		}
 		reply, err := c.claimCall(ctx, owner, claimRequest{Key: key, Holder: c.self})
 		if err != nil {
 			c.noteForwardFailure(ps)
+			span.SetAttr("error", err.Error())
 			return nil, nil
 		}
 		ps.breaker.Success()
+		span.SetAttr("status", reply.Status)
 		switch reply.Status {
 		case "granted":
 			return nil, c.remoteRelease(owner, key)
 		case "done":
-			if res, ok, err := c.claimFetch(owner, key); err == nil && ok {
+			if res, ok, err := c.claimFetch(ctx, owner, key); err == nil && ok {
 				return res, nil
 			}
 			// Published at the owner but unfetchable: solve locally rather
@@ -266,9 +284,10 @@ func (c *Cluster) Claim(ctx context.Context, key, fingerprint string) (*engine.R
 			if time.Now().After(deadline) || !sleepCtx(ctx, c.claimPoll()) {
 				return nil, nil
 			}
-			res, ok, err := c.claimFetch(owner, key)
+			res, ok, err := c.claimFetch(ctx, owner, key)
 			if err != nil {
 				c.noteForwardFailure(ps)
+				span.SetAttr("error", err.Error())
 				return nil, nil
 			}
 			ps.breaker.Success()
@@ -282,9 +301,10 @@ func (c *Cluster) Claim(ctx context.Context, key, fingerprint string) (*engine.R
 	}
 }
 
-// claimFetch reads the owner's cache/publish buffer once.
-func (c *Cluster) claimFetch(owner, key string) (*engine.Result, bool, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), c.opTimeout())
+// claimFetch reads the owner's cache/publish buffer once. parent supplies
+// cancellation and trace context; the op timeout still applies.
+func (c *Cluster) claimFetch(parent context.Context, owner, key string) (*engine.Result, bool, error) {
+	ctx, cancel := context.WithTimeout(parent, c.opTimeout())
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		"http://"+owner+"/cluster/cache/get", nil)
@@ -293,6 +313,9 @@ func (c *Cluster) claimFetch(owner, key string) (*engine.Result, bool, error) {
 	}
 	req.Header.Set(cacheKeyHeader, key)
 	req.Header.Set(peerHeader, c.self)
+	if sc := telemetry.FromContext(parent).Context(); sc.Valid() {
+		req.Header.Set(telemetry.Traceparent, sc.Traceparent())
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return nil, false, err
@@ -332,6 +355,9 @@ func (c *Cluster) claimCall(ctx context.Context, owner string, cr claimRequest) 
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(peerHeader, c.self)
+	if sc := telemetry.FromContext(ctx).Context(); sc.Valid() {
+		req.Header.Set(telemetry.Traceparent, sc.Traceparent())
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -383,7 +409,7 @@ func (c *Cluster) remoteRelease(owner, key string) func(*engine.Result) {
 			case c.remoteTier.Load():
 				// The fleet tier's write-through publish is in flight.
 			case resultcodec.EncodedSize(res) <= maxCacheBody:
-				_ = c.cachePush(owner, key, resultcodec.Encode(res))
+				_ = c.cachePush(owner, key, resultcodec.Encode(res), "")
 			}
 		}()
 	}

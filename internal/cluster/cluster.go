@@ -95,6 +95,12 @@ type Config struct {
 	// Metrics, when non-nil, registers the cluster's forward-RTT histogram
 	// (kiter_cluster_forward_seconds, labeled by peer and outcome).
 	Metrics *telemetry.Registry
+	// Recorder, when non-nil, receives the handler-side span trees of the
+	// cross-process hops this replica serves (/cluster/evaluate, cache get
+	// and put, claim) — each recorded under the caller's trace ID so
+	// /debug/traces/{id}?fleet=1 can stitch the fleet-wide tree back
+	// together by parent span ID.
+	Recorder *telemetry.Recorder
 }
 
 func (cfg Config) withDefaults() Config {
@@ -325,7 +331,9 @@ func (c *Cluster) Dispatch(ctx context.Context, job *engine.DispatchJob) (*engin
 	fspan.SetAttr("error", err.Error())
 	// Retry once unless that first failure just opened the breaker (the
 	// peer is systematically down, not transiently flaky).
-	if ps.breaker.Allow() && sleepCtx(ctx, jitter(c.cfg.RetryBackoff)) {
+	if !ps.breaker.Allow() {
+		fspan.Event("breaker.open", "peer", owner)
+	} else if sleepCtx(ctx, jitter(c.cfg.RetryBackoff)) {
 		ps.retried.Add(1)
 		if res, err = c.attempt(fctx, owner, job); err == nil {
 			ps.breaker.Success()
@@ -340,6 +348,7 @@ func (c *Cluster) Dispatch(ctx context.Context, job *engine.DispatchJob) (*engin
 		fspan.SetAttr("error", err.Error())
 	}
 	ps.failedOver.Add(1)
+	fspan.Event("fallback.local", "peer", owner, "error", err.Error())
 	return nil, false, nil
 }
 
@@ -381,6 +390,7 @@ func (c *Cluster) forward(ctx context.Context, owner string, job *engine.Dispatc
 	// a fresh Fire), exercising the retry and breaker paths without a
 	// network fault.
 	if err := faultinject.Fire(faultinject.PointForward); err != nil {
+		telemetry.FromContext(ctx).Event("chaos.severed", "point", faultinject.PointForward, "peer", owner)
 		return nil, err
 	}
 	body, err := encodeJob(job)
@@ -403,6 +413,12 @@ func (c *Cluster) forward(ctx context.Context, owner string, job *engine.Dispatc
 	// answer JSON, which stays understood (version-skew tolerance).
 	req.Header.Set("Accept", resultContentType)
 	req.Header.Set(peerHeader, c.self)
+	// Propagate trace context: the owner opens its handler span as a child
+	// of this process's cluster.forward span, so the fleet-wide tree
+	// stitches back together by parent span ID.
+	if sc := telemetry.FromContext(ctx).Context(); sc.Valid() {
+		req.Header.Set(telemetry.Traceparent, sc.Traceparent())
+	}
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err

@@ -11,11 +11,68 @@ import (
 
 	"kiter/internal/engine"
 	"kiter/internal/resultcodec"
+	"kiter/internal/telemetry"
 )
 
 // maxForwardBody bounds a forwarded request body, mirroring the public
 // API's cap.
 const maxForwardBody = 64 << 20
+
+// remoteSpan opens a handler-side root span joined to the caller's trace
+// when the request carries a traceparent and the cluster has a flight
+// recorder. The returned context carries the span; finish(status) closes
+// it and records the tree under the caller's trace ID. Without trace
+// context both returns are pass-through no-ops, so untraced internal
+// traffic costs two header lookups.
+func (c *Cluster) remoteSpan(r *http.Request, name, endpoint string) (context.Context, func(status int)) {
+	ctx := r.Context()
+	if c.cfg.Recorder == nil {
+		return ctx, func(int) {}
+	}
+	sc, ok := telemetry.ParseTraceparent(r.Header.Get(telemetry.Traceparent))
+	if !ok {
+		return ctx, func(int) {}
+	}
+	span := telemetry.NewRemoteTrace(name, sc)
+	if peer := r.Header.Get(peerHeader); peer != "" {
+		span.SetAttr("caller", peer)
+	}
+	start := time.Now()
+	return telemetry.ContextWithSpan(ctx, span), func(status int) {
+		span.End()
+		c.cfg.Recorder.Add(telemetry.RecordedTrace{
+			TraceID:       sc.TraceID,
+			RequestID:     r.Header.Get("X-Request-ID"),
+			Endpoint:      endpoint,
+			Process:       c.self,
+			Status:        status,
+			Error:         status >= 400,
+			StartUnixNano: start.UnixNano(),
+			DurMS:         float64(time.Since(start)) / float64(time.Millisecond),
+			Root:          span.Snapshot(),
+		})
+	}
+}
+
+// statusCapture remembers the reply code for the handler-side trace
+// record. RequestID passes through to the server's middleware writer so
+// error bodies keep their correlation ID.
+type statusCapture struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *statusCapture) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusCapture) RequestID() string {
+	if rw, ok := s.ResponseWriter.(interface{ RequestID() string }); ok {
+		return rw.RequestID()
+	}
+	return ""
+}
 
 // EvaluateHandler serves the internal POST /cluster/evaluate endpoint: it
 // decodes a forwarded job, runs it through this replica's engine with
@@ -29,7 +86,11 @@ const maxForwardBody = 64 << 20
 // for undecodable bodies. Analysis-level failures ride inside the Result
 // like everywhere else.
 func (c *Cluster) EvaluateHandler(e *engine.Engine, timeout time.Duration) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	return http.HandlerFunc(func(pw http.ResponseWriter, r *http.Request) {
+		sw := &statusCapture{ResponseWriter: pw, code: http.StatusOK}
+		w := http.ResponseWriter(sw)
+		ctx, finish := c.remoteSpan(r, "cluster.evaluate", "/cluster/evaluate")
+		defer func() { finish(sw.code) }()
 		if r.Method != http.MethodPost {
 			writeError(w, http.StatusMethodNotAllowed, "POST required")
 			return
@@ -48,7 +109,6 @@ func (c *Cluster) EvaluateHandler(e *engine.Engine, timeout time.Duration) http.
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		ctx := r.Context()
 		if timeout > 0 {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, timeout)
@@ -87,7 +147,16 @@ func (c *Cluster) EvaluateHandler(e *engine.Engine, timeout time.Duration) http.
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
+	body := map[string]string{"error": msg}
+	// The serving middleware's writer carries the request's correlation ID;
+	// include it in the error body so a failed client call names the server
+	// trace to pull.
+	if rw, ok := w.(interface{ RequestID() string }); ok {
+		if id := rw.RequestID(); id != "" {
+			body["requestId"] = id
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(body)
 }

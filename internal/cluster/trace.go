@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+
+	"kiter/internal/telemetry"
+)
+
+// FetchTraces collects the named trace's records from every configured
+// peer over the pooled transport — the fan-out behind
+// GET /debug/traces/{id}?fleet=1. Each peer is asked for its local records
+// only (no fleet parameter, so fan-out never recurses), concurrently and
+// best-effort: an unreachable or trace-less peer contributes nothing
+// rather than failing the stitch. Breaker-open peers are skipped — the
+// debug path must not add load to a peer the serving path already
+// excluded.
+func (c *Cluster) FetchTraces(ctx context.Context, traceID string) []telemetry.RecordedTrace {
+	peers := c.snapshotPeers()
+	if len(peers) == 0 {
+		return nil
+	}
+	var mu sync.Mutex
+	var out []telemetry.RecordedTrace
+	var wg sync.WaitGroup
+	for _, ps := range peers {
+		if !c.alive(ps.addr) {
+			continue
+		}
+		wg.Add(1)
+		go func(addr string) {
+			defer wg.Done()
+			recs := c.fetchPeerTraces(ctx, addr, traceID)
+			if len(recs) == 0 {
+				return
+			}
+			mu.Lock()
+			out = append(out, recs...)
+			mu.Unlock()
+		}(ps.addr)
+	}
+	wg.Wait()
+	return out
+}
+
+// fetchPeerTraces asks one peer for its records of traceID.
+func (c *Cluster) fetchPeerTraces(ctx context.Context, addr, traceID string) []telemetry.RecordedTrace {
+	fctx, cancel := context.WithTimeout(ctx, c.opTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(fctx, http.MethodGet,
+		"http://"+addr+"/debug/traces/"+traceID, nil)
+	if err != nil {
+		return nil
+	}
+	req.Header.Set(peerHeader, c.self)
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil
+	}
+	var doc struct {
+		Records []telemetry.RecordedTrace `json:"records"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil
+	}
+	return doc.Records
+}

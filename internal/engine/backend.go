@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 )
@@ -29,6 +30,33 @@ type CacheBackend interface {
 	// Close releases the backend's resources. The engine owns the backend
 	// it is configured with and calls Close exactly once from Engine.Close.
 	Close() error
+}
+
+// CtxCacheBackend is the optional context-aware face of a CacheBackend.
+// Networked tiers (the fleet cache) implement it to propagate trace
+// context — and honor cancellation — on their remote hops; the engine
+// calls the ctx variants when available and falls back to Get/Put
+// otherwise, so purely local backends never see a context.
+type CtxCacheBackend interface {
+	GetCtx(ctx context.Context, key string) (*Result, bool)
+	PutCtx(ctx context.Context, key string, res *Result)
+}
+
+// cacheGet consults b, preferring the context-aware path.
+func cacheGet(ctx context.Context, b CacheBackend, key string) (*Result, bool) {
+	if cb, ok := b.(CtxCacheBackend); ok {
+		return cb.GetCtx(ctx, key)
+	}
+	return b.Get(key)
+}
+
+// cachePut stores into b, preferring the context-aware path.
+func cachePut(ctx context.Context, b CacheBackend, key string, res *Result) {
+	if cb, ok := b.(CtxCacheBackend); ok {
+		cb.PutCtx(ctx, key, res)
+		return
+	}
+	b.Put(key, res)
 }
 
 // CacheTierStats is one tier's telemetry as reported on Stats.CacheTiers.
@@ -134,6 +162,25 @@ func (t *tieredCache) Get(key string) (*Result, bool) {
 func (t *tieredCache) Put(key string, res *Result) {
 	t.fast.Put(key, res)
 	t.slow.Put(key, res)
+}
+
+// GetCtx and PutCtx thread the caller's context through to whichever tiers
+// can use it (the fleet tier traces and cancels its remote hop; local
+// tiers take the plain path).
+func (t *tieredCache) GetCtx(ctx context.Context, key string) (*Result, bool) {
+	if res, ok := cacheGet(ctx, t.fast, key); ok {
+		return res, true
+	}
+	res, ok := cacheGet(ctx, t.slow, key)
+	if ok {
+		t.fast.Put(key, res)
+	}
+	return res, ok
+}
+
+func (t *tieredCache) PutCtx(ctx context.Context, key string, res *Result) {
+	cachePut(ctx, t.fast, key, res)
+	cachePut(ctx, t.slow, key, res)
 }
 
 func (t *tieredCache) Len() int { return t.fast.Len() + t.slow.Len() }

@@ -314,7 +314,7 @@ func (e *Engine) Submit(ctx context.Context, req *Request) (*Result, error) {
 	span.SetAttr("method", string(method))
 	if !req.NoCache && e.cache != nil {
 		lookupStart := time.Now()
-		res, ok := e.cache.Get(key)
+		res, ok := cacheGet(ctx, e.cache, key)
 		lookupDur := time.Since(lookupStart)
 		e.met.cacheLookup.Observe(lookupDur.Seconds())
 		if span != nil {
@@ -520,7 +520,7 @@ func (e *Engine) runJob(j *job) {
 		res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 		j.published = res
 		if !j.req.NoCache && e.cache != nil {
-			e.cache.Put(j.req.cacheKeyHint, res)
+			cachePut(ctx, e.cache, j.req.cacheKeyHint, res)
 		}
 	case contextual(err):
 		e.stats.cancelled.Add(1)

@@ -27,6 +27,13 @@ type FamilyConfig struct {
 	// per-member deadline) — the per-request budget of a server, applied
 	// per scenario rather than to the family as a whole.
 	MemberTimeout time.Duration
+	// MemberContext, when set, derives each member's submission context
+	// from the family context — the trace-sampling seam: a sweep server
+	// attaches a scenario span to every Nth member so a sampled scenario
+	// traces end-to-end while the rest pay nothing. It runs before
+	// MemberTimeout wraps the context; returning ctx unchanged opts the
+	// member out.
+	MemberContext func(ctx context.Context, i int) context.Context
 }
 
 // SubmitFamily streams a family of n related requests through the engine —
@@ -94,9 +101,12 @@ func (e *Engine) SubmitFamily(ctx context.Context, n int, cfg FamilyConfig, buil
 			defer wg.Done()
 			defer func() { <-sem }()
 			mctx := ctx
+			if cfg.MemberContext != nil {
+				mctx = cfg.MemberContext(mctx, i)
+			}
 			if cfg.MemberTimeout > 0 {
 				var cancel context.CancelFunc
-				mctx, cancel = context.WithTimeout(ctx, cfg.MemberTimeout)
+				mctx, cancel = context.WithTimeout(mctx, cfg.MemberTimeout)
 				defer cancel()
 			}
 			res, err := e.Submit(mctx, req)

@@ -46,7 +46,12 @@ func TestWorkerPanicIsolated(t *testing.T) {
 // contestant is recovered on that contestant's goroutine; the others race
 // on and the job still returns the certified-optimal result.
 func TestRaceContestantPanicLosesRace(t *testing.T) {
-	set, err := faultinject.Parse("solver.symbolic:panic")
+	// The healthy contestants are held back 50ms so the symbolic one is
+	// guaranteed to be scheduled — and panic — before the race settles;
+	// without the delay a loaded machine can settle the race before the
+	// symbolic goroutine even starts, and it exits unrun.
+	set, err := faultinject.Parse(
+		"solver.symbolic:panic,solver.kiter:latency:50ms,solver.periodic:latency:50ms")
 	if err != nil {
 		t.Fatal(err)
 	}

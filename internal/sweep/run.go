@@ -72,6 +72,11 @@ type Runner struct {
 	// large sweep of fast scenarios never times out as a whole while one
 	// pathological scenario still cannot pin a worker forever.
 	PointTimeout time.Duration
+	// MemberContext, when set, derives each scenario's submission context
+	// — the server uses it to open sampled per-scenario trace spans that
+	// hang off the sweep's root. It may be called from many scenario
+	// goroutines concurrently.
+	MemberContext func(ctx context.Context, i int) context.Context
 }
 
 // rCmpOrNew compares r to a possibly-nil current bound (0 when unset).
@@ -206,7 +211,7 @@ func (r *Runner) Run(ctx context.Context, x *Expansion, emit func(Point) error) 
 	start := time.Now()
 
 	var emitErr error
-	cfg := engine.FamilyConfig{Width: r.Width, MemberTimeout: r.PointTimeout}
+	cfg := engine.FamilyConfig{Width: r.Width, MemberTimeout: r.PointTimeout, MemberContext: r.MemberContext}
 	err := r.Engine.SubmitFamily(ctx, x.Total(), cfg, x.Request, func(fr engine.FamilyResult) {
 		p := Point{Scenario: fr.Index, Params: x.Assignment(fr.Index), Result: fr.Result}
 		if fr.Err != nil {

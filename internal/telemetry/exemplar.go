@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// ExemplarTracker remembers, per endpoint, the trace ID of the slowest
+// recent request — the exemplar linkage between the latency histograms on
+// /metrics and the flight recorder: a bad p99 names the exact trace to
+// pull from /debug/traces/{id}. "Recent" means within the window; a stale
+// exemplar is replaced by the next observation regardless of duration, so
+// the pivot never points at a trace the recorder has long rotated out.
+//
+// Cardinality stays bounded: one sample per endpoint label (the server
+// uses a fixed endpoint set), with the trace ID carried as a label on that
+// single sample.
+type ExemplarTracker struct {
+	window time.Duration
+	mu     sync.Mutex
+	slow   map[string]exemplar
+}
+
+type exemplar struct {
+	traceID string
+	seconds float64
+	at      time.Time
+}
+
+// NewExemplarTracker returns a tracker with the given freshness window
+// (<= 0 defaults to 2 minutes).
+func NewExemplarTracker(window time.Duration) *ExemplarTracker {
+	if window <= 0 {
+		window = 2 * time.Minute
+	}
+	return &ExemplarTracker{window: window, slow: map[string]exemplar{}}
+}
+
+// Observe offers one request's duration as the endpoint's exemplar.
+func (t *ExemplarTracker) Observe(endpoint, traceID string, seconds float64) {
+	if t == nil || traceID == "" {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	cur, ok := t.slow[endpoint]
+	if !ok || seconds > cur.seconds || now.Sub(cur.at) > t.window {
+		t.slow[endpoint] = exemplar{traceID: traceID, seconds: seconds, at: now}
+	}
+	t.mu.Unlock()
+}
+
+// Register exposes the exemplars as kiter_http_slowest_trace_seconds — the
+// slowest recent duration per endpoint, with the matching trace ID as a
+// label for the /debug/traces pivot.
+func (t *ExemplarTracker) Register(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.Collect(func(x *ExpoWriter) {
+		t.mu.Lock()
+		eps := make([]string, 0, len(t.slow))
+		for ep := range t.slow {
+			eps = append(eps, ep)
+		}
+		snap := make(map[string]exemplar, len(t.slow))
+		for ep, ex := range t.slow {
+			snap[ep] = ex
+		}
+		t.mu.Unlock()
+		sort.Strings(eps)
+		x.Family("kiter_http_slowest_trace_seconds", "gauge",
+			"Duration of the slowest recent request per endpoint; traceId labels the flight-recorder trace to pivot to.")
+		for _, ep := range eps {
+			ex := snap[ep]
+			x.Sample("kiter_http_slowest_trace_seconds", ex.seconds,
+				"endpoint", ep, "traceId", ex.traceID)
+		}
+	})
+}

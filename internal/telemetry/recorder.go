@@ -1,0 +1,238 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// RecordedTrace is one process's view of one trace: the finished span tree
+// a handler produced, plus enough request metadata to list and correlate
+// it. A fleet-wide trace is several RecordedTraces — one per process the
+// request touched — reassembled by Stitch.
+type RecordedTrace struct {
+	TraceID       string    `json:"traceId"`
+	RequestID     string    `json:"requestId,omitempty"`
+	Endpoint      string    `json:"endpoint"`
+	Process       string    `json:"process,omitempty"`
+	Status        int       `json:"status,omitempty"`
+	Error         bool      `json:"error,omitempty"`
+	StartUnixNano int64     `json:"startUnixNano"`
+	DurMS         float64   `json:"durMs"`
+	Root          *SpanNode `json:"root"`
+}
+
+// Recorder is the always-on flight recorder: a bounded in-memory buffer of
+// recent traces with tail-biased retention. Three segments split the
+// capacity — a FIFO ring of the most recent traces (cap/2), a
+// keep-the-slowest set (cap/4) and a FIFO ring of errored traces (cap/4) —
+// so the traces worth debugging (the latency tail and the failures)
+// survive long after plain recent traffic has rotated out.
+//
+// All methods are safe for concurrent use and no-ops on a nil receiver, so
+// recording sites run unconditionally.
+type Recorder struct {
+	mu      sync.Mutex
+	recent  []*RecordedTrace // FIFO ring
+	recentI int
+	slow    []*RecordedTrace // evict-fastest set
+	errored []*RecordedTrace // FIFO ring
+	errI    int
+
+	recentCap, slowCap, errCap int
+	added                      uint64
+}
+
+// NewRecorder returns a recorder holding at most cap traces (minimum 8).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Recorder{
+		recentCap: capacity / 2,
+		slowCap:   capacity / 4,
+		errCap:    capacity - capacity/2 - capacity/4,
+	}
+}
+
+// Add records one finished trace.
+func (r *Recorder) Add(t RecordedTrace) {
+	if r == nil || t.TraceID == "" || t.Root == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.added++
+	rec := &t
+
+	if len(r.recent) < r.recentCap {
+		r.recent = append(r.recent, rec)
+	} else {
+		r.recent[r.recentI] = rec
+		r.recentI = (r.recentI + 1) % r.recentCap
+	}
+
+	if t.Error {
+		if len(r.errored) < r.errCap {
+			r.errored = append(r.errored, rec)
+		} else {
+			r.errored[r.errI] = rec
+			r.errI = (r.errI + 1) % r.errCap
+		}
+		return
+	}
+
+	if len(r.slow) < r.slowCap {
+		r.slow = append(r.slow, rec)
+		return
+	}
+	// Full: replace the fastest resident if this trace is slower.
+	fastest := 0
+	for i := 1; i < len(r.slow); i++ {
+		if r.slow[i].DurMS < r.slow[fastest].DurMS {
+			fastest = i
+		}
+	}
+	if t.DurMS > r.slow[fastest].DurMS {
+		r.slow[fastest] = rec
+	}
+}
+
+// Added returns the lifetime count of recorded traces.
+func (r *Recorder) Added() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.added
+}
+
+// Get returns every retained record for the given trace ID — a process can
+// hold several per trace (its /analyze root plus handler-side subtrees for
+// evaluate, cache and claim hops it served for peers).
+func (r *Recorder) Get(traceID string) []RecordedTrace {
+	if r == nil || traceID == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[*RecordedTrace]bool{}
+	var out []RecordedTrace
+	for _, seg := range [][]*RecordedTrace{r.recent, r.slow, r.errored} {
+		for _, rec := range seg {
+			if rec.TraceID == traceID && !seen[rec] {
+				seen[rec] = true
+				out = append(out, *rec)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNano < out[j].StartUnixNano })
+	return out
+}
+
+// List returns up to limit retained traces, newest first, spanning all
+// three retention segments without duplicates.
+func (r *Recorder) List(limit int) []RecordedTrace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	seen := map[*RecordedTrace]bool{}
+	var out []RecordedTrace
+	for _, seg := range [][]*RecordedTrace{r.recent, r.slow, r.errored} {
+		for _, rec := range seg {
+			if !seen[rec] {
+				seen[rec] = true
+				out = append(out, *rec)
+			}
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNano > out[j].StartUnixNano })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Stitch reassembles one logical trace from per-process records: each
+// record whose root names a parent span ID found in another record's tree
+// is grafted under that parent. It returns the resulting roots — one tree
+// when every hop was captured; orphaned subtrees (their parent's process
+// unreachable or rotated out) stay separate roots, marked detached. The
+// second return counts those detached subtrees.
+func Stitch(records []RecordedTrace) ([]*SpanNode, int) {
+	byID := map[string]*SpanNode{}
+	roots := make([]*SpanNode, 0, len(records))
+	for i := range records {
+		root := records[i].Root
+		if root == nil {
+			continue
+		}
+		if records[i].Process != "" && root.Attrs["process"] == nil {
+			if root.Attrs == nil {
+				root.Attrs = map[string]any{}
+			}
+			root.Attrs["process"] = records[i].Process
+		}
+		roots = append(roots, root)
+		indexSpans(root, byID)
+	}
+	// Graft until no progress: a record can parent another record that
+	// itself parents a third (analyze → evaluate → cache get).
+	for {
+		progressed := false
+		rest := roots[:0]
+		for _, root := range roots {
+			parent := byID[root.ParentID]
+			if root.ParentID != "" && parent != nil && parent != root && !contains(root, parent) {
+				parent.Children = append(parent.Children, root)
+				progressed = true
+				continue
+			}
+			rest = append(rest, root)
+		}
+		roots = rest
+		if !progressed {
+			break
+		}
+	}
+	detached := 0
+	for _, root := range roots {
+		if root.ParentID != "" {
+			detached++
+			if root.Attrs == nil {
+				root.Attrs = map[string]any{}
+			}
+			root.Attrs["detached"] = true
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].StartUnixNano < roots[j].StartUnixNano })
+	return roots, detached
+}
+
+func indexSpans(n *SpanNode, byID map[string]*SpanNode) {
+	if n.SpanID != "" {
+		if _, dup := byID[n.SpanID]; !dup {
+			byID[n.SpanID] = n
+		}
+	}
+	for _, c := range n.Children {
+		indexSpans(c, byID)
+	}
+}
+
+// contains reports whether target is inside the tree rooted at n — the
+// cycle guard for grafting (two records should never parent each other,
+// but malformed remote data must not hang the stitcher).
+func contains(n, target *SpanNode) bool {
+	if n == target {
+		return true
+	}
+	for _, c := range n.Children {
+		if contains(c, target) {
+			return true
+		}
+	}
+	return false
+}

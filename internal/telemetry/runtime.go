@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSamples is the fixed set of runtime/metrics this collector maps
+// into the exposition. Gauges and counters translate directly;
+// Float64Histogram samples (GC pauses, scheduler latency) become
+// cumulative-bucket Prometheus histograms.
+var runtimeSamples = []struct {
+	src  string
+	name string
+	typ  string // counter | gauge | histogram
+	help string
+}{
+	{"/sched/goroutines:goroutines", "kiter_go_goroutines", "gauge",
+		"Live goroutines in the process."},
+	{"/sched/latencies:seconds", "kiter_go_sched_latency_seconds", "histogram",
+		"Time goroutines spent runnable before running, in seconds."},
+	{"/gc/pauses:seconds", "kiter_go_gc_pause_seconds", "histogram",
+		"Stop-the-world GC pause durations, in seconds."},
+	{"/gc/cycles/total:gc-cycles", "kiter_go_gc_cycles_total", "counter",
+		"Completed GC cycles."},
+	{"/gc/heap/allocs:bytes", "kiter_go_heap_allocs_bytes_total", "counter",
+		"Cumulative bytes allocated on the heap."},
+	{"/memory/classes/heap/objects:bytes", "kiter_go_heap_objects_bytes", "gauge",
+		"Bytes occupied by live and not-yet-swept heap objects."},
+	{"/memory/classes/total:bytes", "kiter_go_memory_total_bytes", "gauge",
+		"Total memory mapped by the Go runtime."},
+	{"/sched/gomaxprocs:threads", "kiter_go_gomaxprocs", "gauge",
+		"GOMAXPROCS: processors usable by the scheduler."},
+}
+
+// RegisterRuntimeMetrics adds a scrape-time collector exposing Go runtime
+// health — goroutines, heap, GC cycles and pause distribution, scheduler
+// latency — next to the serving metrics, so a latency regression can be
+// attributed to (or cleared of) runtime pressure without attaching pprof.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i := range runtimeSamples {
+		samples[i].Name = runtimeSamples[i].src
+	}
+	reg.Collect(func(x *ExpoWriter) {
+		metrics.Read(samples)
+		for i, rs := range runtimeSamples {
+			switch samples[i].Value.Kind() {
+			case metrics.KindUint64:
+				x.Family(rs.name, rs.typ, rs.help)
+				x.Sample(rs.name, float64(samples[i].Value.Uint64()))
+			case metrics.KindFloat64:
+				x.Family(rs.name, rs.typ, rs.help)
+				x.Sample(rs.name, samples[i].Value.Float64())
+			case metrics.KindFloat64Histogram:
+				h := samples[i].Value.Float64Histogram()
+				if h != nil {
+					x.Family(rs.name, "histogram", rs.help)
+					exposeRuntimeHistogram(x, rs.name, h)
+				}
+			}
+		}
+	})
+}
+
+// exposeRuntimeHistogram renders a runtime Float64Histogram as cumulative
+// le buckets. The runtime reports counts between boundary pairs, possibly
+// with ±Inf edges; _sum is approximated from bucket midpoints (the runtime
+// does not track an exact sum), which is fine for the rate/percentile
+// queries these families exist for.
+func exposeRuntimeHistogram(x *ExpoWriter, name string, h *metrics.Float64Histogram) {
+	var cum uint64
+	var sum float64
+	for i, count := range h.Counts {
+		cum += count
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := hi
+		switch {
+		case !math.IsInf(lo, -1) && !math.IsInf(hi, 1):
+			mid = (lo + hi) / 2
+		case math.IsInf(hi, 1):
+			mid = lo
+		}
+		if !math.IsInf(mid, 0) {
+			sum += float64(count) * mid
+		}
+		if !math.IsInf(hi, 1) {
+			x.Sample(name+"_bucket", float64(cum), "le", formatBound(hi))
+		}
+	}
+	x.Sample(name+"_bucket", float64(cum), "le", "+Inf")
+	x.Sample(name+"_sum", sum)
+	x.Sample(name+"_count", float64(cum))
+}

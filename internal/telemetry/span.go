@@ -7,19 +7,23 @@ import (
 )
 
 // Span is one node of a per-job trace tree: a named phase with a start
-// time, a duration once ended, key/value attributes and child spans.
-// Spans are safe for concurrent use (race contestants attach children to
-// the same parent from separate goroutines) and safe on a nil receiver, so
-// instrumentation points run unconditionally and cost a nil check when
-// tracing is off.
+// time, a duration once ended, key/value attributes, events and child
+// spans. Spans are safe for concurrent use (race contestants attach
+// children to the same parent from separate goroutines) and safe on a nil
+// receiver, so instrumentation points run unconditionally and cost a nil
+// check when tracing is off.
 type Span struct {
-	name  string
-	start time.Time
+	name     string
+	start    time.Time
+	sc       SpanContext
+	parentID string
+	root     bool
 
 	mu       sync.Mutex
 	dur      time.Duration
 	ended    bool
 	attrs    []attr
+	events   []spanEvent
 	children []*Span
 }
 
@@ -28,10 +32,40 @@ type attr struct {
 	val any
 }
 
+type spanEvent struct {
+	name  string
+	at    time.Time
+	attrs []attr
+}
+
 // NewTrace starts a root span — the per-request entry point; everything
-// below it attaches through contexts via StartSpan.
+// below it attaches through contexts via StartSpan. The root is minted
+// with a fresh SpanContext, so every trace is addressable fleet-wide.
 func NewTrace(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, start: time.Now(), sc: NewSpanContext(), root: true}
+}
+
+// NewRemoteTrace starts a root span for the receiving side of a
+// cross-process hop: it joins the caller's trace (same TraceID) as a child
+// of the caller's span, so stitching by parent span ID reassembles one
+// logical tree across processes.
+func NewRemoteTrace(name string, parent SpanContext) *Span {
+	return &Span{
+		name:     name,
+		start:    time.Now(),
+		sc:       SpanContext{TraceID: parent.TraceID, SpanID: newSpanID()},
+		parentID: parent.SpanID,
+		root:     true,
+	}
+}
+
+// Context returns the span's identifiers. Nil or ID-less spans return the
+// zero SpanContext, which encodes to no traceparent header.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
 }
 
 type spanKey struct{}
@@ -60,6 +94,10 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		return ctx, nil
 	}
 	child := &Span{name: name, start: time.Now()}
+	if parent.sc.TraceID != "" {
+		child.sc = SpanContext{TraceID: parent.sc.TraceID, SpanID: newSpanID()}
+		child.parentID = parent.sc.SpanID
+	}
 	parent.mu.Lock()
 	parent.children = append(parent.children, child)
 	parent.mu.Unlock()
@@ -116,6 +154,27 @@ func (s *Span) AddInt(key string, n int64) {
 	s.attrs = append(s.attrs, attr{key: key, val: n})
 }
 
+// Event appends a timestamped point event — breaker opened, chaos fault
+// fired, fallback taken — with optional alternating key/value attribute
+// pairs. Unlike attributes, events keep ordering and wall-clock placement,
+// so a degraded trace explains why it went local.
+func (s *Span) Event(name string, kv ...any) {
+	if s == nil {
+		return
+	}
+	ev := spanEvent{name: name, at: time.Now()}
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			continue
+		}
+		ev.attrs = append(ev.attrs, attr{key: key, val: kv[i+1]})
+	}
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
 // Record attaches an already-measured phase as a completed child span —
 // for phases whose start and end are observed in different goroutines
 // (queue wait: enqueue vs. worker dequeue) where threading a live span
@@ -131,13 +190,26 @@ func (s *Span) Record(name string, start time.Time, d time.Duration) {
 }
 
 // SpanNode is the exported JSON form of a span tree, as returned by
-// POST /analyze?trace=1 and appended to the -trace-log NDJSON stream.
+// POST /analyze?trace=1, GET /debug/traces/{id} and the -trace-log NDJSON
+// stream. TraceID is set on roots only; SpanID/ParentID appear on spans
+// that participate in cross-process propagation.
 type SpanNode struct {
 	Name          string         `json:"name"`
+	TraceID       string         `json:"traceId,omitempty"`
+	SpanID        string         `json:"spanId,omitempty"`
+	ParentID      string         `json:"parentId,omitempty"`
 	StartUnixNano int64          `json:"startUnixNano"`
 	DurMS         float64        `json:"durMs"`
 	Attrs         map[string]any `json:"attrs,omitempty"`
+	Events        []SpanEvent    `json:"events,omitempty"`
 	Children      []*SpanNode    `json:"spans,omitempty"`
+}
+
+// SpanEvent is the exported form of a point event on a span.
+type SpanEvent struct {
+	Name       string         `json:"name"`
+	AtUnixNano int64          `json:"atUnixNano"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
 }
 
 // Snapshot renders the span tree rooted at s. Unended spans (a cancelled
@@ -149,17 +221,34 @@ func (s *Span) Snapshot() *SpanNode {
 	s.mu.Lock()
 	n := &SpanNode{
 		Name:          s.name,
+		SpanID:        s.sc.SpanID,
+		ParentID:      s.parentID,
 		StartUnixNano: s.start.UnixNano(),
 		DurMS:         float64(s.dur) / float64(time.Millisecond),
 	}
 	if !s.ended {
 		n.DurMS = float64(time.Since(s.start)) / float64(time.Millisecond)
 	}
+	if s.root {
+		// A root (local or remote): carry the trace ID so the node is
+		// self-describing once detached from its Span.
+		n.TraceID = s.sc.TraceID
+	}
 	if len(s.attrs) > 0 {
 		n.Attrs = make(map[string]any, len(s.attrs))
 		for _, a := range s.attrs {
 			n.Attrs[a.key] = a.val
 		}
+	}
+	for _, ev := range s.events {
+		out := SpanEvent{Name: ev.name, AtUnixNano: ev.at.UnixNano()}
+		if len(ev.attrs) > 0 {
+			out.Attrs = make(map[string]any, len(ev.attrs))
+			for _, a := range ev.attrs {
+				out.Attrs[a.key] = a.val
+			}
+		}
+		n.Events = append(n.Events, out)
 	}
 	children := append([]*Span(nil), s.children...)
 	s.mu.Unlock()
